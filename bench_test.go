@@ -1,0 +1,176 @@
+// Repository benchmark harness: one benchmark per paper table and figure
+// (each regenerates the artifact through the experiments package in quick
+// mode), the ablation benches DESIGN.md calls out, and microbenchmarks of
+// the load-bearing kernels (partitioner, simulator, model, hydro step).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches are regeneration harnesses, not microbenchmarks:
+// per-op times report how long regenerating the table/figure takes with
+// memoized decks/partitions warm after the first iteration.
+package krak
+
+import (
+	"testing"
+
+	"krak/internal/cluster"
+	"krak/internal/compute"
+	"krak/internal/core"
+	"krak/internal/experiments"
+	"krak/internal/hydro"
+	"krak/internal/mesh"
+	"krak/internal/netmodel"
+	"krak/internal/partition"
+)
+
+// benchExperiment runs one experiment repeatedly against a shared quick
+// environment.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := experiments.NewQuickEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1PhaseTable(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2MaterialRatios(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkTable3BoundaryExchange(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4Collectives(b *testing.B)      { benchExperiment(b, "table4") }
+func BenchmarkTable5MeshSpecific(b *testing.B)     { benchExperiment(b, "table5") }
+func BenchmarkTable6General(b *testing.B)          { benchExperiment(b, "table6") }
+func BenchmarkFigure1Partitioning(b *testing.B)    { benchExperiment(b, "figure1") }
+func BenchmarkFigure2PhaseTimes(b *testing.B)      { benchExperiment(b, "figure2") }
+func BenchmarkFigure3CostCurves(b *testing.B)      { benchExperiment(b, "figure3") }
+func BenchmarkFigure4Boundary(b *testing.B)        { benchExperiment(b, "figure4") }
+func BenchmarkFigure5Scaling(b *testing.B)         { benchExperiment(b, "figure5") }
+
+// Ablation benches (design choices called out in DESIGN.md).
+
+func BenchmarkAblationPartitioner(b *testing.B) { benchExperiment(b, "ablation-partitioner") }
+func BenchmarkAblationOverlap(b *testing.B)     { benchExperiment(b, "ablation-overlap") }
+func BenchmarkAblationKnee(b *testing.B)        { benchExperiment(b, "ablation-knee") }
+func BenchmarkAblationCombine(b *testing.B)     { benchExperiment(b, "ablation-combine") }
+func BenchmarkAblationNetwork(b *testing.B)     { benchExperiment(b, "ablation-network") }
+
+// Microbenchmarks of the load-bearing kernels.
+
+func benchDeckSummary(b *testing.B, p int) *mesh.PartitionSummary {
+	b.Helper()
+	d, err := mesh.BuildLayeredDeck(160, 80) // 12,800 cells
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := partition.FromMesh(d.Mesh)
+	part, err := partition.NewMultilevel(1).Partition(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum, err := mesh.Summarize(d.Mesh, part, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sum
+}
+
+func BenchmarkPartitionMultilevel128(b *testing.B) {
+	d, err := mesh.BuildLayeredDeck(160, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := partition.FromMesh(d.Mesh)
+	ml := partition.NewMultilevel(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.Partition(g, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSimulate128(b *testing.B) {
+	sum := benchDeckSummary(b, 128)
+	cfg := cluster.Config{Net: netmodel.QsNetI(), Costs: compute.ES45()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Iteration = i
+		if _, err := cluster.Simulate(sum, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeshSpecificPredict128(b *testing.B) {
+	sum := benchDeckSummary(b, 128)
+	env := experiments.NewQuickEnv()
+	cal, err := env.ContrivedCalibration()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.NewMeshSpecific(cal, env.Net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Predict(sum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneralPredict512(b *testing.B) {
+	env := experiments.NewQuickEnv()
+	cal, err := env.ContrivedCalibration()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.NewGeneral(cal, env.Net, core.Homogeneous)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Predict(204800, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHydroStepSerial(b *testing.B) {
+	d, err := mesh.BuildLayeredDeck(40, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := hydro.NewState(d, hydro.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hydro.Step(s, hydro.Serial{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHydroParallel4(b *testing.B) {
+	d, err := mesh.BuildLayeredDeck(40, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := partition.FromMesh(d.Mesh)
+	part, err := partition.NewMultilevel(1).Partition(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hydro.RunParallel(d, part, 4, 5, hydro.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

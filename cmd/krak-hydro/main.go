@@ -1,0 +1,93 @@
+// Command krak-hydro runs the Lagrangian hydrodynamics mini-app (the Krak
+// stand-in) serially or on goroutine ranks, reporting physics diagnostics
+// and per-phase wall-clock times.
+//
+// Usage:
+//
+//	krak-hydro -w 80 -h 40 -steps 200
+//	krak-hydro -w 80 -h 40 -steps 100 -ranks 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"krak/internal/hydro"
+	"krak/internal/mesh"
+	"krak/internal/partition"
+	"krak/internal/phases"
+	"krak/internal/textplot"
+)
+
+func main() {
+	var (
+		w     = flag.Int("w", 40, "grid width (cells)")
+		h     = flag.Int("h", 20, "grid height (cells)")
+		steps = flag.Int("steps", 100, "timesteps to run")
+		ranks = flag.Int("ranks", 1, "parallel goroutine ranks (1 = serial)")
+		every = flag.Int("report", 20, "diagnostics interval (serial only)")
+	)
+	flag.Parse()
+
+	d, err := mesh.BuildLayeredDeck(*w, *h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Deck %s: %d cells, detonator at (%.3f, %.3f)\n\n",
+		d.Name, d.Mesh.NumCells(), d.DetonatorX, d.DetonatorY)
+
+	var timers hydro.PhaseSeconds
+	var diag hydro.Diagnostics
+	if *ranks <= 1 {
+		s, err := hydro.NewState(d, hydro.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i := 0; i < *steps; i++ {
+			if err := hydro.Step(s, hydro.Serial{}, &timers); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *every > 0 && (i+1)%*every == 0 {
+				dg := s.Diag()
+				fmt.Printf("cycle %4d  t=%.4f  dt=%.2e  burned=%4d  maxP=%8.3f  KE=%.4f  IE=%.4f\n",
+					dg.Cycle, dg.Time, s.DT, dg.BurnedCells, dg.MaxPressure, dg.KineticEnergy, dg.InternalEnergy)
+			}
+		}
+		diag = s.Diag()
+	} else {
+		g := partition.FromMesh(d.Mesh)
+		part, err := partition.NewMultilevel(1).Partition(g, *ranks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := hydro.RunParallel(d, part, *ranks, *steps, hydro.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		diag = res.Diag
+		timers = res.PhaseSeconds
+	}
+
+	fmt.Printf("\nFinal: cycle %d, t=%.4f\n", diag.Cycle, diag.Time)
+	fmt.Printf("  mass            %.6f\n", diag.TotalMass)
+	fmt.Printf("  internal energy %.6f\n", diag.InternalEnergy)
+	fmt.Printf("  kinetic energy  %.6f\n", diag.KineticEnergy)
+	fmt.Printf("  released        %.6f\n", diag.EnergyReleased)
+	fmt.Printf("  burned cells    %d\n", diag.BurnedCells)
+	fmt.Printf("  max pressure    %.4f\n", diag.MaxPressure)
+
+	labels := make([]string, phases.Count)
+	vals := make([]float64, phases.Count)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("phase %2d", i+1)
+		vals[i] = timers[i] * 1e3
+	}
+	fmt.Println()
+	fmt.Print(textplot.Bars("Wall-clock per phase (ms, accumulated):", labels, vals, 40))
+}

@@ -1,0 +1,115 @@
+// Command krak-model runs the analytic performance model for a deck and
+// processor count and prints the predicted iteration time with its
+// per-phase breakdown.
+//
+// Usage:
+//
+//	krak-model -deck medium -pe 512 -model general-homo
+//	krak-model -deck small -pe 64 -model mesh-specific
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"krak/internal/core"
+	"krak/internal/experiments"
+	"krak/internal/mesh"
+	"krak/internal/phases"
+	"krak/internal/textplot"
+)
+
+func deckSize(name string) (mesh.StandardSize, error) {
+	switch name {
+	case "small":
+		return mesh.Small, nil
+	case "medium":
+		return mesh.Medium, nil
+	case "large":
+		return mesh.Large, nil
+	case "figure2":
+		return mesh.Figure2, nil
+	}
+	return 0, fmt.Errorf("unknown deck %q (small|medium|large|figure2)", name)
+}
+
+func main() {
+	var (
+		deckName  = flag.String("deck", "medium", "deck: small, medium, large, figure2")
+		pe        = flag.Int("pe", 128, "processor count")
+		modelName = flag.String("model", "general-homo", "model: general-homo, general-het, mesh-specific")
+		quick     = flag.Bool("quick", false, "scaled-down deck")
+	)
+	flag.Parse()
+
+	sz, err := deckSize(*deckName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	env := experiments.NewEnv()
+	if *quick {
+		env = experiments.NewQuickEnv()
+	}
+	d, err := env.Deck(sz)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var pred *core.Prediction
+	switch *modelName {
+	case "general-homo", "general-het":
+		cal, err := env.ContrivedCalibration()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mode := core.Homogeneous
+		if *modelName == "general-het" {
+			mode = core.Heterogeneous
+		}
+		pred, err = core.NewGeneral(cal, env.Net, mode).Predict(d.Mesh.NumCells(), *pe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "mesh-specific":
+		cal, err := env.DeckCalibration(d, []int{2, 8, 32})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sum, err := env.Partition(d, *pe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pred, err = core.NewMeshSpecific(cal, env.Net).Predict(sum)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Deck %s (%d cells) on %d PEs, %s model, network %s\n\n",
+		d.Name, d.Mesh.NumCells(), *pe, *modelName, env.Net.Name())
+	header := []string{"Phase", "Compute (ms)", "P2P (ms)", "Collective (ms)", "Total (ms)"}
+	var rows [][]string
+	for ph := 1; ph <= phases.Count; ph++ {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", ph),
+			fmt.Sprintf("%.3f", pred.PhaseCompute[ph-1]*1e3),
+			fmt.Sprintf("%.3f", pred.PhaseP2P[ph-1]*1e3),
+			fmt.Sprintf("%.3f", pred.PhaseCollective[ph-1]*1e3),
+			fmt.Sprintf("%.3f", pred.PhaseTotal(ph)*1e3),
+		})
+	}
+	fmt.Print(textplot.Table(header, rows))
+	fmt.Printf("\nPredicted iteration time: %.1f ms (compute %.1f ms, communication %.1f ms)\n",
+		pred.Total*1e3, pred.Compute()*1e3, pred.Communication()*1e3)
+}

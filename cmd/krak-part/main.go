@@ -1,0 +1,112 @@
+// Command krak-part partitions a deck and reports partition quality with an
+// ASCII rendering of the subgrid map (the Figure 1 visualization).
+//
+// Usage:
+//
+//	krak-part -deck small -pe 16
+//	krak-part -deck small -pe 16 -algo rcb -map=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"krak/internal/experiments"
+	"krak/internal/mesh"
+	"krak/internal/partition"
+	"krak/internal/textplot"
+)
+
+func main() {
+	var (
+		deckName = flag.String("deck", "small", "deck: small, medium, large, figure2")
+		pe       = flag.Int("pe", 16, "processor count")
+		algo     = flag.String("algo", "multilevel", "multilevel, rcb, strips, random")
+		seed     = flag.Uint64("seed", 1, "partitioner seed")
+		showMap  = flag.Bool("map", true, "render the subgrid map")
+	)
+	flag.Parse()
+
+	var sz mesh.StandardSize
+	switch *deckName {
+	case "small":
+		sz = mesh.Small
+	case "medium":
+		sz = mesh.Medium
+	case "large":
+		sz = mesh.Large
+	case "figure2":
+		sz = mesh.Figure2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown deck %q\n", *deckName)
+		os.Exit(1)
+	}
+	env := experiments.NewEnv()
+	env.Seed = *seed
+	d, err := env.Deck(sz)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var pr partition.Partitioner
+	switch *algo {
+	case "multilevel":
+		pr = partition.NewMultilevel(*seed)
+	case "rcb":
+		pr = partition.RCB{}
+	case "sfc":
+		pr = partition.SFC{}
+	case "strips":
+		pr = partition.Strips{}
+	case "random":
+		pr = partition.Random{Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(1)
+	}
+
+	g := partition.FromMesh(d.Mesh)
+	q, part, err := partition.Evaluate(pr, g, *pe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sum, err := mesh.Summarize(d.Mesh, part, *pe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Deck %s (%d cells) into %d parts with %s\n", d.Name, d.Mesh.NumCells(), *pe, q.Algorithm)
+	fmt.Printf("  edge cut      %d faces\n", q.EdgeCut)
+	fmt.Printf("  imbalance     %.3f\n", q.Imbalance)
+	fmt.Printf("  max neighbors %d\n\n", sum.MaxNeighbors())
+
+	header := []string{"PE", "Cells", "HE Gas", "Al(In)", "Foam", "Al(Out)", "Neighbors", "Ghost nodes"}
+	var rows [][]string
+	for p := 0; p < *pe; p++ {
+		ghosts := 0
+		for _, nb := range sum.NeighborsOf[p] {
+			ghosts += sum.Boundary(p, nb).GhostNodes
+		}
+		c := sum.CellsByMaterial[p]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", sum.TotalCells[p]),
+			fmt.Sprintf("%d", c[mesh.HEGas]),
+			fmt.Sprintf("%d", c[mesh.AluminumInner]),
+			fmt.Sprintf("%d", c[mesh.Foam]),
+			fmt.Sprintf("%d", c[mesh.AluminumOuter]),
+			fmt.Sprintf("%d", len(sum.NeighborsOf[p])),
+			fmt.Sprintf("%d", ghosts),
+		})
+	}
+	fmt.Print(textplot.Table(header, rows))
+
+	if *showMap && d.Mesh.W > 0 && d.Mesh.W <= 200 {
+		fmt.Println()
+		fmt.Print(textplot.GridMap("Subgrid map (characters = PE ids):",
+			d.Mesh.W, d.Mesh.H, func(x, y int) int { return part[y*d.Mesh.W+x] }))
+	}
+}

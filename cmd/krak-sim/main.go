@@ -1,0 +1,135 @@
+// Command krak-sim runs the discrete-event cluster simulator — the
+// "measured" platform — for a partitioned deck and reports iteration and
+// per-phase times.
+//
+// Usage:
+//
+//	krak-sim -deck medium -pe 256 -iterations 5
+//	krak-sim -deck small -pe 16 -partitioner strips
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"krak/internal/cluster"
+	"krak/internal/compute"
+	"krak/internal/experiments"
+	"krak/internal/mesh"
+	"krak/internal/netmodel"
+	"krak/internal/partition"
+	"krak/internal/phases"
+	"krak/internal/stats"
+	"krak/internal/textplot"
+)
+
+func main() {
+	var (
+		deckName  = flag.String("deck", "medium", "deck: small, medium, large, figure2")
+		pe        = flag.Int("pe", 128, "processor count")
+		iters     = flag.Int("iterations", 5, "iterations to simulate")
+		parter    = flag.String("partitioner", "multilevel", "multilevel, rcb, strips, random")
+		netName   = flag.String("net", "qsnet", "qsnet, gige, infiniband")
+		serialize = flag.Bool("serialize-sends", false, "disable message overlap")
+		quick     = flag.Bool("quick", false, "scaled-down deck")
+	)
+	flag.Parse()
+
+	var sz mesh.StandardSize
+	switch *deckName {
+	case "small":
+		sz = mesh.Small
+	case "medium":
+		sz = mesh.Medium
+	case "large":
+		sz = mesh.Large
+	case "figure2":
+		sz = mesh.Figure2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown deck %q\n", *deckName)
+		os.Exit(1)
+	}
+	env := experiments.NewEnv()
+	if *quick {
+		env = experiments.NewQuickEnv()
+	}
+	d, err := env.Deck(sz)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var pr partition.Partitioner
+	switch *parter {
+	case "multilevel":
+		pr = partition.NewMultilevel(env.Seed)
+	case "rcb":
+		pr = partition.RCB{}
+	case "sfc":
+		pr = partition.SFC{}
+	case "strips":
+		pr = partition.Strips{}
+	case "random":
+		pr = partition.Random{Seed: env.Seed}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown partitioner %q\n", *parter)
+		os.Exit(1)
+	}
+
+	var net *netmodel.Model
+	switch *netName {
+	case "qsnet":
+		net = netmodel.QsNetI()
+	case "gige":
+		net = netmodel.GigE()
+	case "infiniband":
+		net = netmodel.Infiniband()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(1)
+	}
+
+	g := partition.FromMesh(d.Mesh)
+	part, err := pr.Partition(g, *pe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sum, err := mesh.Summarize(d.Mesh, part, *pe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := cluster.Config{Net: net, Costs: compute.ES45(), SerializeSends: *serialize}
+	results, mean, err := cluster.SimulateIterations(sum, cfg, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Deck %s (%d cells) on %d PEs — partitioner %s, network %s\n",
+		d.Name, d.Mesh.NumCells(), *pe, pr.Name(), net.Name())
+	fmt.Printf("Partition: edge cut %d faces, imbalance %.3f, max neighbors %d\n\n",
+		sum.EdgeCut(), sum.Imbalance(), sum.MaxNeighbors())
+
+	r := results[0]
+	header := []string{"Phase", "Duration (ms)", "Comm share (ms)", "Max compute (ms)"}
+	var rows [][]string
+	for ph := 0; ph < phases.Count; ph++ {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", ph+1),
+			fmt.Sprintf("%.3f", r.PhaseTimes[ph]*1e3),
+			fmt.Sprintf("%.3f", r.CommTimes[ph]*1e3),
+			fmt.Sprintf("%.3f", stats.Max(r.ComputeTimes[ph])*1e3),
+		})
+	}
+	fmt.Print(textplot.Table(header, rows))
+	var times []float64
+	for _, res := range results {
+		times = append(times, res.IterationTime)
+	}
+	fmt.Printf("\nIteration time over %d iterations: mean %.1f ms (min %.1f, max %.1f), collectives %.1f ms\n",
+		*iters, mean*1e3, stats.Min(times)*1e3, stats.Max(times)*1e3, r.CollectiveTime*1e3)
+}

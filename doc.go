@@ -1,0 +1,13 @@
+// Package krak is a from-scratch Go reproduction of "A Performance Model
+// of the Krak Hydrodynamics Application" (Barker, Pakin, Kerbyson —
+// ICPP 2006): the analytic performance model itself (internal/core), the
+// Krak stand-in Lagrangian hydrodynamics mini-app (internal/hydro), the
+// METIS-style mesh partitioner (internal/partition), the QsNet-like network
+// model (internal/netmodel), and the discrete-event cluster simulator
+// (internal/cluster) that together regenerate every table and figure of the
+// paper's evaluation (internal/experiments).
+//
+// The root package carries the repository-level benchmark harness
+// (bench_test.go): one benchmark per paper table and figure plus the
+// ablation benches described in DESIGN.md.
+package krak

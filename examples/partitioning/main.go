@@ -1,0 +1,55 @@
+// Partitioning study: the use case from the paper's introduction —
+// "quantitatively evaluating the potential performance benefit of
+// alterations to the application, such as the data-partitioning
+// algorithms". Compares partitioners by quality metrics and by measured
+// iteration time on the simulated cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krak/internal/cluster"
+	"krak/internal/compute"
+	"krak/internal/experiments"
+	"krak/internal/mesh"
+	"krak/internal/partition"
+)
+
+func main() {
+	env := experiments.NewEnv()
+	deck, err := env.Deck(mesh.Medium)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := partition.FromMesh(deck.Mesh)
+	const p = 128
+
+	cfg := cluster.Config{Net: env.Net, Costs: compute.ES45()}
+	fmt.Printf("Medium deck (%d cells) on %d PEs:\n\n", deck.Mesh.NumCells(), p)
+	fmt.Println("  partitioner       edge cut  imbalance  max-nbrs  iteration(ms)")
+	for _, pr := range []partition.Partitioner{
+		partition.NewMultilevel(1),
+		partition.RCB{},
+		partition.Strips{},
+		partition.Random{Seed: 1},
+	} {
+		q, part, err := partition.Evaluate(pr, g, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, err := mesh.Summarize(deck.Mesh, part, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, mean, err := cluster.SimulateIterations(sum, cfg, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s  %8d  %9.3f  %8d  %12.1f\n",
+			q.Algorithm, q.EdgeCut, q.Imbalance, sum.MaxNeighbors(), mean*1e3)
+	}
+	fmt.Println("\nThe METIS-style multilevel partitioner minimizes the edge cut and the")
+	fmt.Println("iteration time; strips inflate boundaries and random partitioning is")
+	fmt.Println("catastrophic for boundary-exchange traffic.")
+}

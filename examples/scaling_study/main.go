@@ -1,0 +1,64 @@
+// Scaling study: reproduce Figure 5's shape — measured vs the general
+// model's homogeneous and heterogeneous assumptions across processor
+// counts, showing the heterogeneous model drifting above measurements at
+// scale as per-material message latencies pile up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krak/internal/core"
+	"krak/internal/experiments"
+	"krak/internal/mesh"
+	"krak/internal/textplot"
+)
+
+func main() {
+	env := experiments.NewEnv()
+	deck, err := env.Deck(mesh.Medium)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, err := env.ContrivedCalibration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	homo := core.NewGeneral(cal, env.Net, core.Homogeneous)
+	het := core.NewGeneral(cal, env.Net, core.Heterogeneous)
+
+	var chart textplot.Chart
+	chart.Title = "Medium problem (204,800 cells): iteration time (s) vs PEs (log-log)"
+	chart.LogX, chart.LogY = true, true
+	var px, meas, predH, predX []float64
+
+	fmt.Println("  PEs   measured(ms)  homo(ms)  hetero(ms)")
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		sum, err := env.Partition(deck, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := env.Measure(sum)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := homo.Predict(deck.Mesh.NumCells(), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		x, err := het.Predict(deck.Mesh.NumCells(), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d   %10.1f  %8.1f  %9.1f\n", p, m*1e3, h.Total*1e3, x.Total*1e3)
+		px = append(px, float64(p))
+		meas = append(meas, m)
+		predH = append(predH, h.Total)
+		predX = append(predX, x.Total)
+	}
+	chart.AddSeries(textplot.Series{Name: "Measured", Marker: 'm', Xs: px, Ys: meas})
+	chart.AddSeries(textplot.Series{Name: "Homogeneous", Marker: 'o', Xs: px, Ys: predH})
+	chart.AddSeries(textplot.Series{Name: "Heterogeneous", Marker: 'h', Xs: px, Ys: predX})
+	fmt.Println()
+	fmt.Print(chart.Render())
+}

@@ -1,0 +1,324 @@
+// Package cluster is the measured-platform substrate of the Krak
+// reproduction: a discrete-event simulator that plays the role the
+// 256-node AlphaServer ES45 / QsNet-I cluster played in the paper. It
+// executes one Krak iteration — the 15 phases of Table 1 — over P virtual
+// processors, charging computation from the ground-truth cost tables
+// (internal/compute) and communication from the piecewise-linear network
+// model (internal/netmodel), and reports the per-phase and per-iteration
+// times that the validation experiments treat as "measured".
+//
+// The simulator honors the application's communication semantics as §4
+// describes them: asynchronous sends posted to every neighbor, completion
+// waits, then blocking receives; per-material boundary-exchange messages
+// with the Table 3 size rules; ghost-node updates split into local and
+// remote messages; and binary-tree collectives closing every phase. Unlike
+// the analytic model (internal/core), the simulator sees the true irregular
+// partition, true per-PE material mixtures, per-PE noise, and genuine
+// message overlap — exactly the effects the paper's model abstracts away.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"krak/internal/compute"
+	"krak/internal/mesh"
+	"krak/internal/netmodel"
+	"krak/internal/phases"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Net is the interconnect model. Required.
+	Net *netmodel.Model
+
+	// Costs is the ground-truth computation table. Required.
+	Costs *compute.TruthTable
+
+	// SendOverhead and RecvOverhead are the CPU costs of posting one
+	// asynchronous send and of draining one blocking receive. They default
+	// to 0.6 us / 0.8 us (MPI library costs on the ES45 era hardware) when
+	// zero. Set Exact to use zeros.
+	SendOverhead, RecvOverhead float64
+
+	// SerializeSends disables message overlap: each message's full wire
+	// time is charged to the sender before the next message is posted.
+	// This mirrors the accounting of the model's Equation (5), which "does
+	// not account for overlapping of messages between different neighbors";
+	// the default (false) lets transfers to different neighbors overlap,
+	// which is what the real code achieves with asynchronous sends.
+	SerializeSends bool
+
+	// Iteration selects the noise stream (think: which timestep is being
+	// measured). Simulations with the same configuration and iteration are
+	// bit-identical.
+	Iteration int
+
+	// Exact uses zero send/receive overheads rather than the defaults.
+	Exact bool
+
+	// Trace records a per-processor event timeline into Result.Events.
+	Trace bool
+}
+
+// EventKind labels a traced simulator event.
+type EventKind string
+
+// The traced event kinds.
+const (
+	EventCompute    EventKind = "compute"
+	EventSend       EventKind = "send"
+	EventRecv       EventKind = "recv"
+	EventCollective EventKind = "collective"
+)
+
+// Event is one interval on a processor's timeline, with times relative to
+// the start of its phase.
+type Event struct {
+	PE    int
+	Phase int // 1-based
+	Kind  EventKind
+	Peer  int // neighbor for send/recv, -1 otherwise
+	Bytes int // payload for send/recv
+	Start float64
+	End   float64
+}
+
+func (c *Config) sendOverhead() float64 {
+	if c.Exact {
+		return 0
+	}
+	if c.SendOverhead == 0 {
+		return 0.6e-6
+	}
+	return c.SendOverhead
+}
+
+func (c *Config) recvOverhead() float64 {
+	if c.Exact {
+		return 0
+	}
+	if c.RecvOverhead == 0 {
+		return 0.8e-6
+	}
+	return c.RecvOverhead
+}
+
+// Result reports one simulated iteration.
+type Result struct {
+	P int
+
+	// IterationTime is the wall-clock time of the full iteration (s).
+	IterationTime float64
+
+	// PhaseTimes[ph-1] is the global duration of each phase, including
+	// point-to-point communication and the closing collectives.
+	PhaseTimes [phases.Count]float64
+
+	// ComputeTimes[ph-1][pe] is each processor's computation-only time in
+	// each phase — the "No MPI" quantity of Figure 2.
+	ComputeTimes [phases.Count][]float64
+
+	// CommTimes[ph-1] is the per-phase communication share: phase duration
+	// minus the slowest processor's compute time.
+	CommTimes [phases.Count]float64
+
+	// CollectiveTime is the total time spent in collectives.
+	CollectiveTime float64
+
+	// Events holds the traced timeline when Config.Trace is set.
+	Events []Event
+}
+
+// TotalCompute returns the per-PE total compute time across phases.
+func (r *Result) TotalCompute() []float64 {
+	out := make([]float64, r.P)
+	for ph := 0; ph < phases.Count; ph++ {
+		for pe, t := range r.ComputeTimes[ph] {
+			out[pe] += t
+		}
+	}
+	return out
+}
+
+// message is an in-flight point-to-point message.
+type message struct {
+	from, to int
+	bytes    int
+	sent     float64 // send completion time at the sender
+}
+
+// Simulate runs one iteration of Krak over the partitioned deck described
+// by sum.
+func Simulate(sum *mesh.PartitionSummary, cfg Config) (*Result, error) {
+	if cfg.Net == nil || cfg.Costs == nil {
+		return nil, fmt.Errorf("cluster: Config.Net and Config.Costs are required")
+	}
+	if sum == nil || sum.P <= 0 {
+		return nil, fmt.Errorf("cluster: empty partition summary")
+	}
+	p := sum.P
+	res := &Result{P: p}
+
+	oSend := cfg.sendOverhead()
+	oRecv := cfg.recvOverhead()
+
+	for phIdx, ph := range phases.Table1() {
+		// 1. Computation.
+		comp := make([]float64, p)
+		for pe := 0; pe < p; pe++ {
+			comp[pe] = cfg.Costs.NoisyPhaseTime(ph.Number, sum.CellsByMaterial[pe], pe, cfg.Iteration)
+		}
+		res.ComputeTimes[phIdx] = comp
+		maxComp := 0.0
+		for _, t := range comp {
+			if t > maxComp {
+				maxComp = t
+			}
+		}
+		if cfg.Trace {
+			for pe, t := range comp {
+				res.Events = append(res.Events, Event{
+					PE: pe, Phase: ph.Number, Kind: EventCompute, Peer: -1, End: t,
+				})
+			}
+		}
+
+		// 2. Point-to-point communication, if any.
+		var phaseEnd float64
+		if ph.HasPointToPoint() && p > 1 {
+			phaseEnd = simulateP2P(sum, ph, comp, cfg, oSend, oRecv, res)
+		} else {
+			phaseEnd = maxComp
+		}
+
+		// 3. Collectives close the phase: broadcasts and gathers issued in
+		// the phase, then one all-reduce per sync point.
+		var coll float64
+		for _, b := range ph.BcastBytes {
+			coll += cfg.Net.Bcast(p, b)
+		}
+		for _, b := range ph.GatherBytes {
+			coll += cfg.Net.Gather(p, b)
+		}
+		for _, b := range ph.AllreduceBytes {
+			coll += cfg.Net.Allreduce(p, b)
+		}
+		res.CollectiveTime += coll
+		if cfg.Trace && coll > 0 {
+			res.Events = append(res.Events, Event{
+				PE: -1, Phase: ph.Number, Kind: EventCollective, Peer: -1,
+				Start: phaseEnd, End: phaseEnd + coll,
+			})
+		}
+
+		total := phaseEnd + coll
+		res.PhaseTimes[phIdx] = total
+		res.CommTimes[phIdx] = total - maxComp
+		res.IterationTime += total
+	}
+	return res, nil
+}
+
+// simulateP2P plays out one phase's point-to-point traffic and returns the
+// time at which the slowest processor has finished computing, sending, and
+// receiving. Phase-relative time: computation starts at 0.
+func simulateP2P(sum *mesh.PartitionSummary, ph phases.Phase, comp []float64, cfg Config, oSend, oRecv float64, res *Result) float64 {
+	p := sum.P
+	inbox := make([][]message, p)
+	postDone := make([]float64, p)
+
+	for pe := 0; pe < p; pe++ {
+		t := comp[pe]
+		// Enumerate this PE's outgoing messages, neighbors in ascending
+		// order (deterministic schedule).
+		for _, nb := range sum.NeighborsOf[pe] {
+			b := sum.Boundary(pe, nb)
+			var msgs []phases.Message
+			if ph.BoundaryExchange {
+				msgs = phases.BoundaryExchangeMessages(b)
+			} else {
+				msgs = phases.GhostUpdateMessages(b, pe, ph.GhostUpdateBytes)
+			}
+			for _, m := range msgs {
+				start := t
+				if cfg.SerializeSends {
+					// The whole wire time is charged before the next send.
+					t += oSend + cfg.Net.MsgTime(m.Bytes)
+				} else {
+					// Asynchronous: the sender pays only the posting
+					// overhead; the transfer proceeds in the background.
+					t += oSend
+				}
+				inbox[nb] = append(inbox[nb], message{from: pe, to: nb, bytes: m.Bytes, sent: t})
+				if cfg.Trace {
+					res.Events = append(res.Events, Event{
+						PE: pe, Phase: ph.Number, Kind: EventSend, Peer: nb,
+						Bytes: m.Bytes, Start: start, End: t,
+					})
+				}
+			}
+		}
+		postDone[pe] = t
+	}
+
+	// Receives: blocking, drained in arrival order after sends are posted.
+	end := 0.0
+	for pe := 0; pe < p; pe++ {
+		arrivals := make([]arrival, 0, len(inbox[pe]))
+		for _, m := range inbox[pe] {
+			arr := m.sent
+			if !cfg.SerializeSends {
+				arr += cfg.Net.MsgTime(m.bytes)
+			}
+			arrivals = append(arrivals, arrival{at: arr, from: m.from, bytes: m.bytes})
+		}
+		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].at < arrivals[j].at })
+		cpu := postDone[pe]
+		for _, a := range arrivals {
+			start := cpu
+			if a.at > cpu {
+				cpu = a.at
+			}
+			cpu += oRecv
+			if cfg.Trace {
+				res.Events = append(res.Events, Event{
+					PE: pe, Phase: ph.Number, Kind: EventRecv, Peer: a.from,
+					Bytes: a.bytes, Start: start, End: cpu,
+				})
+			}
+		}
+		if cpu > end {
+			end = cpu
+		}
+	}
+	return end
+}
+
+// arrival is a received message's delivery time.
+type arrival struct {
+	at    float64
+	from  int
+	bytes int
+}
+
+// SimulateIterations runs n iterations (with independent noise) and returns
+// the per-iteration results plus the mean iteration time.
+func SimulateIterations(sum *mesh.PartitionSummary, cfg Config, n int) ([]*Result, float64, error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("cluster: iteration count %d", n)
+	}
+	results := make([]*Result, 0, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Iteration = cfg.Iteration + i
+		r, err := Simulate(sum, c)
+		if err != nil {
+			return nil, 0, err
+		}
+		results = append(results, r)
+		total += r.IterationTime
+	}
+	return results, total / float64(n), nil
+}

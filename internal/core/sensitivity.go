@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"krak/internal/netmodel"
+)
+
+// Sensitivity quantifies how the modeled iteration time responds to machine
+// parameters — the quantitative basis for the procurement use case in the
+// paper's introduction ("expectation of future workload performance is
+// often a primary criterion in the procurement of a new large-scale
+// parallel machine").
+type Sensitivity struct {
+	// Base is the iteration time with the unmodified machine.
+	Base float64
+
+	// LatencyGain is the relative iteration-time reduction from halving
+	// every message start-up cost.
+	LatencyGain float64
+
+	// BandwidthGain is the relative reduction from doubling every link's
+	// bandwidth.
+	BandwidthGain float64
+
+	// ComputeGain is the relative reduction from a 2x faster processor
+	// (all per-cell computation costs halved).
+	ComputeGain float64
+
+	// CommFraction is communication's share of the base iteration.
+	CommFraction float64
+}
+
+// scaleNet builds a copy of a network model with scaled latency and
+// per-byte cost.
+func scaleNet(net *netmodel.Model, latFactor, perByteFactor float64) (*netmodel.Model, error) {
+	segs := net.Segments()
+	for i := range segs {
+		segs[i].Latency *= latFactor
+		segs[i].PerByte *= perByteFactor
+	}
+	return netmodel.New(net.Name()+" (scaled)", segs)
+}
+
+// predictor abstracts the two model variants for sensitivity analysis.
+type predictor interface {
+	predictWith(net *netmodel.Model, computeScale float64) (*Prediction, error)
+}
+
+// generalPredictor adapts General.
+type generalPredictor struct {
+	model *General
+	cells int
+	p     int
+}
+
+func (g generalPredictor) predictWith(net *netmodel.Model, computeScale float64) (*Prediction, error) {
+	m := *g.model
+	m.Net = net
+	pred, err := m.Predict(g.cells, g.p)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pred.PhaseCompute {
+		pred.PhaseCompute[i] *= computeScale
+	}
+	pred.finalize()
+	return pred, nil
+}
+
+// AnalyzeGeneral computes machine sensitivities for a general-model
+// configuration.
+func AnalyzeGeneral(model *General, cells, p int) (*Sensitivity, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	return analyze(generalPredictor{model: model, cells: cells, p: p}, model.Net)
+}
+
+func analyze(pr predictor, net *netmodel.Model) (*Sensitivity, error) {
+	base, err := pr.predictWith(net, 1)
+	if err != nil {
+		return nil, err
+	}
+	if base.Total <= 0 {
+		return nil, fmt.Errorf("core: degenerate base prediction")
+	}
+	halfLat, err := scaleNet(net, 0.5, 1)
+	if err != nil {
+		return nil, err
+	}
+	latPred, err := pr.predictWith(halfLat, 1)
+	if err != nil {
+		return nil, err
+	}
+	doubleBW, err := scaleNet(net, 1, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	bwPred, err := pr.predictWith(doubleBW, 1)
+	if err != nil {
+		return nil, err
+	}
+	fastCPU, err := pr.predictWith(net, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	return &Sensitivity{
+		Base:          base.Total,
+		LatencyGain:   1 - latPred.Total/base.Total,
+		BandwidthGain: 1 - bwPred.Total/base.Total,
+		ComputeGain:   1 - fastCPU.Total/base.Total,
+		CommFraction:  base.Communication() / base.Total,
+	}, nil
+}

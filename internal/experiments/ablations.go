@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+
+	"krak/internal/cluster"
+	"krak/internal/core"
+	"krak/internal/mesh"
+	"krak/internal/netmodel"
+	"krak/internal/partition"
+)
+
+// ablationDeck picks a mid-sized configuration all ablations share.
+func ablationDeck(env *Env) (*mesh.Deck, int, error) {
+	d, err := env.Deck(mesh.Medium)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := 128
+	if env.Quick {
+		p = 32
+	}
+	return d, p, nil
+}
+
+// AblationPartitioner compares partitioners by measured iteration time —
+// the "quantitatively evaluating ... alterations to the application, such
+// as the data-partitioning algorithms" use case from the paper's
+// introduction.
+func AblationPartitioner(env *Env) (*Result, error) {
+	d, p, err := ablationDeck(env)
+	if err != nil {
+		return nil, err
+	}
+	g := partition.FromMesh(d.Mesh)
+	res := &Result{
+		ID:     "ablation-partitioner",
+		Title:  fmt.Sprintf("Partitioner ablation (%s deck, %d PEs)", d.Name, p),
+		Header: []string{"Partitioner", "Edge cut", "Imbalance", "Max neighbors", "Iteration (ms)"},
+	}
+	parters := []partition.Partitioner{
+		partition.NewMultilevel(env.Seed),
+		partition.RCB{},
+		partition.SFC{},
+		partition.Strips{},
+		partition.Random{Seed: env.Seed},
+	}
+	for _, pr := range parters {
+		part, err := pr.Partition(g, p)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := mesh.Summarize(d.Mesh, part, p)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := env.Measure(sum)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			pr.Name(),
+			fmt.Sprintf("%d", sum.EdgeCut()),
+			fmt.Sprintf("%.3f", sum.Imbalance()),
+			fmt.Sprintf("%d", sum.MaxNeighbors()),
+			fmt.Sprintf("%.1f", meas*1e3),
+		})
+	}
+	res.Notes = "The multilevel (METIS-style) partitioner minimizes edge cut and iteration time; random partitioning explodes boundary traffic."
+	return res, nil
+}
+
+// AblationOverlap quantifies how much the application's asynchronous-send
+// overlap buys — the effect Equation (5) deliberately ignores.
+func AblationOverlap(env *Env) (*Result, error) {
+	d, p, err := ablationDeck(env)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := env.Partition(d, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "ablation-overlap",
+		Title:  fmt.Sprintf("Message overlap ablation (%s deck, %d PEs)", d.Name, p),
+		Header: []string{"Send semantics", "Iteration (ms)"},
+	}
+	for _, c := range []struct {
+		name      string
+		serialize bool
+	}{
+		{"asynchronous (overlapped)", false},
+		{"serialized (Equation 5 assumption)", true},
+	} {
+		cfg := env.clusterConfig()
+		cfg.SerializeSends = c.serialize
+		_, mean, err := cluster.SimulateIterations(sum, cfg, env.repeats())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{c.name, fmt.Sprintf("%.1f", mean*1e3)})
+	}
+	res.Notes = "Serializing sends (what Equation 5 charges) costs more than the overlapped reality; the model over-predicts communication by roughly this gap."
+	return res, nil
+}
+
+// AblationKnee removes the per-phase fixed overheads from the ground truth
+// and shows the small-deck mesh-specific errors collapse — evidence that
+// the Table 5 failures are a knee phenomenon.
+func AblationKnee(env *Env) (*Result, error) {
+	d, err := env.Deck(mesh.Small)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "ablation-knee",
+		Title:  "Knee ablation: small-deck mesh-specific error with and without the knee",
+		Header: []string{"Ground truth", "PEs", "Meas (ms)", "Pred (ms)", "Error"},
+	}
+	predPs := []int{16, 64, 128}
+	calPs := []int{2, 8, 32}
+	if env.Quick {
+		calPs = []int{2, 8}
+	}
+	for _, variant := range []struct {
+		name   string
+		useRaw bool
+	}{
+		{"with knee (default)", true},
+		{"knee removed", false},
+	} {
+		sub := &Env{Net: env.Net, Seed: env.Seed, Repeats: env.Repeats, Quick: env.Quick}
+		if variant.useRaw {
+			sub.Costs = env.Costs
+		} else {
+			sub.Costs = env.Costs.WithoutKnee()
+		}
+		cal, err := sub.DeckCalibration(d, calPs)
+		if err != nil {
+			return nil, err
+		}
+		model := newMeshSpecific(cal, sub.Net)
+		for _, p := range predPs {
+			sum, err := sub.Partition(d, p)
+			if err != nil {
+				return nil, err
+			}
+			meas, err := sub.Measure(sum)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := model.Predict(sum)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, []string{
+				variant.name, fmt.Sprintf("%d", p),
+				fmt.Sprintf("%.1f", meas*1e3),
+				fmt.Sprintf("%.1f", pred.Total*1e3),
+				fmt.Sprintf("%.1f%%", relErrPct(meas, pred.Total)),
+			})
+		}
+	}
+	res.Notes = "Without the fixed per-phase overheads the per-cell cost has no knee, extrapolation is safe, and the small-deck errors shrink dramatically — confirming the paper's diagnosis of its Table 5 outliers."
+	return res, nil
+}
+
+// AblationCombine toggles the §4.1 combining of identical materials in the
+// mesh-specific model's Equation (5).
+func AblationCombine(env *Env) (*Result, error) {
+	d, p, err := ablationDeck(env)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := env.Partition(d, p)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := env.ContrivedCalibration()
+	if err != nil {
+		return nil, err
+	}
+	meas, err := env.Measure(sum)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "ablation-combine",
+		Title:  fmt.Sprintf("Equation 5 refinements ablation (%s deck, %d PEs)", d.Name, p),
+		Header: []string{"Exchange options", "Pred (ms)", "Error vs measured"},
+	}
+	for _, c := range []struct {
+		name string
+		opt  core.BoundaryExchangeOptions
+	}{
+		{"combine + ghost surcharge (Table 3 rules)", core.BoundaryExchangeOptions{CombineIdenticalMaterials: true, GhostSurcharge: true}},
+		{"combine only", core.BoundaryExchangeOptions{CombineIdenticalMaterials: true}},
+		{"plain Equation 5", core.BoundaryExchangeOptions{}},
+	} {
+		m := &core.MeshSpecific{Costs: cal, Net: env.Net, Exchange: c.opt}
+		pred, err := m.Predict(sum)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			c.name,
+			fmt.Sprintf("%.1f", pred.Total*1e3),
+			fmt.Sprintf("%.1f%%", relErrPct(meas, pred.Total)),
+		})
+	}
+	res.Notes = "Splitting the aluminum layers into separate exchange steps adds message latencies; the paper treats identical materials as one during boundary exchanges."
+	return res, nil
+}
+
+// SensitivityStudy reports how the modeled iteration time responds to
+// halved latency, doubled bandwidth, and a 2x CPU across scales — the
+// quantitative procurement analysis the paper's introduction motivates.
+func SensitivityStudy(env *Env) (*Result, error) {
+	d, err := env.Deck(mesh.Medium)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := env.ContrivedCalibration()
+	if err != nil {
+		return nil, err
+	}
+	model := newGeneralHomo(cal, env.Net)
+	res := &Result{
+		ID:     "sensitivity",
+		Title:  fmt.Sprintf("Machine sensitivity (%s deck, general homogeneous model)", d.Name),
+		Header: []string{"PEs", "Base (ms)", "Comm share", "1/2 latency", "2x bandwidth", "2x CPU"},
+	}
+	ps := []int{16, 64, 256, 1024}
+	if env.Quick {
+		ps = []int{16, 128}
+	}
+	for _, p := range ps {
+		s, err := core.AnalyzeGeneral(model, d.Mesh.NumCells(), p)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.1f", s.Base*1e3),
+			fmt.Sprintf("%.1f%%", s.CommFraction*100),
+			fmt.Sprintf("-%.1f%%", s.LatencyGain*100),
+			fmt.Sprintf("-%.1f%%", s.BandwidthGain*100),
+			fmt.Sprintf("-%.1f%%", s.ComputeGain*100),
+		})
+	}
+	res.Notes = "Compute upgrades dominate at every scale the paper studied; latency begins to matter at 1024 PEs as small-message collectives and exchanges pile up."
+	return res, nil
+}
+
+// AblationNetwork re-runs the Table 6 medium/512 point on three
+// interconnects — the procurement what-if from the paper's introduction.
+func AblationNetwork(env *Env) (*Result, error) {
+	d, err := env.Deck(mesh.Medium)
+	if err != nil {
+		return nil, err
+	}
+	p := 512
+	if env.Quick {
+		p = 64
+	}
+	res := &Result{
+		ID:     "ablation-network",
+		Title:  fmt.Sprintf("Interconnect what-if (%s deck, %d PEs)", d.Name, p),
+		Header: []string{"Network", "Measured (ms)", "Homo model (ms)", "Error"},
+	}
+	for _, net := range []*netmodel.Model{netmodel.GigE(), netmodel.QsNetI(), netmodel.Infiniband()} {
+		sub := &Env{Net: net, Costs: env.Costs, Seed: env.Seed, Repeats: env.Repeats, Quick: env.Quick}
+		sum, err := sub.Partition(d, p)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := sub.Measure(sum)
+		if err != nil {
+			return nil, err
+		}
+		cal, err := sub.ContrivedCalibration()
+		if err != nil {
+			return nil, err
+		}
+		pred, err := newGeneralHomo(cal, net).Predict(d.Mesh.NumCells(), p)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			net.Name(),
+			fmt.Sprintf("%.1f", meas*1e3),
+			fmt.Sprintf("%.1f", pred.Total*1e3),
+			fmt.Sprintf("%.1f%%", relErrPct(meas, pred.Total)),
+		})
+	}
+	res.Notes = "The model tracks the measured platform across interconnects, supporting the procurement use case that motivates analytic models."
+	return res, nil
+}

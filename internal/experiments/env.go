@@ -1,0 +1,215 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (phase structure) through Table 6 (general-model
+// validation) and Figures 1 through 5, plus the ablation studies DESIGN.md
+// calls out. Each experiment pairs the cluster simulator's "measured" times
+// with the analytic model's predictions, exactly as the paper pairs its
+// ES45 measurements with its model.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"krak/internal/cluster"
+	"krak/internal/compute"
+	"krak/internal/core"
+	"krak/internal/mesh"
+	"krak/internal/netmodel"
+	"krak/internal/partition"
+	"krak/internal/phases"
+)
+
+// Env carries the machine configuration and memoizes the expensive
+// artifacts (decks, partitions, calibrations) that experiments share.
+type Env struct {
+	// Net is the interconnect model (default QsNet-I).
+	Net *netmodel.Model
+
+	// Costs is the ground-truth computation table (default ES45 with 3%
+	// noise).
+	Costs *compute.TruthTable
+
+	// Seed drives the partitioner.
+	Seed uint64
+
+	// Repeats is the number of measured iterations averaged per data point
+	// (default 5).
+	Repeats int
+
+	// Quick shrinks the heavyweight experiments (smaller decks, fewer
+	// processor counts) so benchmarks and smoke tests stay fast. The
+	// paper-faithful configuration leaves it false.
+	Quick bool
+
+	mu         sync.Mutex
+	decks      map[string]*mesh.Deck
+	summaries  map[string]*mesh.PartitionSummary
+	contrived  *compute.Calibrated
+	contrivedE error
+}
+
+// NewEnv returns a paper-faithful environment.
+func NewEnv() *Env {
+	return &Env{
+		Net:     netmodel.QsNetI(),
+		Costs:   compute.ES45(),
+		Seed:    1,
+		Repeats: 5,
+	}
+}
+
+// NewQuickEnv returns a scaled-down environment for benchmarks and tests.
+func NewQuickEnv() *Env {
+	e := NewEnv()
+	e.Quick = true
+	e.Repeats = 2
+	return e
+}
+
+func (e *Env) repeats() int {
+	if e.Repeats <= 0 {
+		return 5
+	}
+	return e.Repeats
+}
+
+// clusterConfig builds the simulator configuration.
+func (e *Env) clusterConfig() cluster.Config {
+	return cluster.Config{Net: e.Net, Costs: e.Costs}
+}
+
+// Deck returns (and caches) a standard deck, shrunk in Quick mode.
+func (e *Env) Deck(s mesh.StandardSize) (*mesh.Deck, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := s.String()
+	if e.decks == nil {
+		e.decks = map[string]*mesh.Deck{}
+	}
+	if d, ok := e.decks[key]; ok {
+		return d, nil
+	}
+	var d *mesh.Deck
+	var err error
+	if e.Quick {
+		w, h := s.Dims()
+		for w*h > 51200 { // cap quick decks at 51,200 cells
+			w /= 2
+			h /= 2
+		}
+		d, err = mesh.BuildLayeredDeck(w, h)
+		if err == nil {
+			d.Name = s.String() + "-quick"
+		}
+	} else {
+		d, err = mesh.BuildStandardDeck(s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.decks[key] = d
+	return d, nil
+}
+
+// Partition returns (and caches) the multilevel partition summary of a deck
+// at p processors.
+func (e *Env) Partition(d *mesh.Deck, p int) (*mesh.PartitionSummary, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := fmt.Sprintf("%s/%d", d.Name, p)
+	if e.summaries == nil {
+		e.summaries = map[string]*mesh.PartitionSummary{}
+	}
+	if s, ok := e.summaries[key]; ok {
+		return s, nil
+	}
+	g := partition.FromMesh(d.Mesh)
+	part, err := partition.NewMultilevel(e.Seed).Partition(g, p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: partitioning %s to %d PEs: %w", d.Name, p, err)
+	}
+	sum, err := mesh.Summarize(d.Mesh, part, p)
+	if err != nil {
+		return nil, err
+	}
+	e.summaries[key] = sum
+	return sum, nil
+}
+
+// PartitionVector computes the raw cell-to-PE assignment (not cached; used
+// by the Figure 1 visualization).
+func (e *Env) PartitionVector(d *mesh.Deck, p int) ([]int, error) {
+	g := partition.FromMesh(d.Mesh)
+	return partition.NewMultilevel(e.Seed).Partition(g, p)
+}
+
+// Measure runs the simulator and returns the mean iteration time.
+func (e *Env) Measure(sum *mesh.PartitionSummary) (float64, error) {
+	_, mean, err := cluster.SimulateIterations(sum, e.clusterConfig(), e.repeats())
+	return mean, err
+}
+
+// MeasureResult runs a single simulated iteration and returns its detailed
+// result (noise stream 0).
+func (e *Env) MeasureResult(sum *mesh.PartitionSummary) (*cluster.Result, error) {
+	return cluster.Simulate(sum, e.clusterConfig())
+}
+
+// Profiler adapts the cluster simulator into the calibration interface: a
+// "No MPI" computation profile averaged over the measurement repeats.
+func (e *Env) Profiler() core.ProfileFunc {
+	cfg := e.clusterConfig()
+	reps := e.repeats()
+	return func(sum *mesh.PartitionSummary) ([phases.Count][]float64, error) {
+		var out [phases.Count][]float64
+		for ph := 0; ph < phases.Count; ph++ {
+			out[ph] = make([]float64, sum.P)
+		}
+		for it := 0; it < reps; it++ {
+			c := cfg
+			c.Iteration = it
+			r, err := cluster.Simulate(sum, c)
+			if err != nil {
+				return out, err
+			}
+			for ph := 0; ph < phases.Count; ph++ {
+				for pe := 0; pe < sum.P; pe++ {
+					out[ph][pe] += r.ComputeTimes[ph][pe] / float64(reps)
+				}
+			}
+		}
+		return out, nil
+	}
+}
+
+// ContrivedCalibration returns (and caches) the §3.1 contrived-grid
+// calibration backed by the simulator.
+func (e *Env) ContrivedCalibration() (*compute.Calibrated, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.contrived != nil || e.contrivedE != nil {
+		return e.contrived, e.contrivedE
+	}
+	cal := &core.Calibrator{Profile: e.Profiler()}
+	sizes := core.DefaultContrivedSizes()
+	if e.Quick {
+		sizes = sizes[:14] // up to 8,192 cells per PE
+	}
+	e.contrived, e.contrivedE = cal.Contrived(sizes)
+	return e.contrived, e.contrivedE
+}
+
+// DeckCalibration runs the §3.1 least-squares calibration over campaigns of
+// the given deck at the given processor counts.
+func (e *Env) DeckCalibration(d *mesh.Deck, calPs []int) (*compute.Calibrated, error) {
+	var samples []core.DeckSample
+	for _, p := range calPs {
+		sum, err := e.Partition(d, p)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, core.DeckSample{Summary: sum})
+	}
+	cal := &core.Calibrator{Profile: e.Profiler()}
+	return cal.FromDeck(samples)
+}

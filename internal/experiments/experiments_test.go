@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"krak/internal/mesh"
+)
+
+// env returns a shared quick environment; experiments cache inside it.
+func env(t *testing.T) *Env {
+	t.Helper()
+	return NewQuickEnv()
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact has an experiment.
+	want := []string{"table1", "table2", "table3", "table4", "table5", "table6",
+		"figure1", "figure2", "figure3", "figure4", "figure5"}
+	for _, id := range want {
+		if _, err := Find(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(r.Rows))
+	}
+	if r.Rows[1][1] == "" || r.Rows[1][2] != "1" {
+		t.Fatalf("phase 2 row = %v", r.Rows[1])
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Boundary exchange") {
+		t.Fatal("render missing boundary exchange")
+	}
+}
+
+func TestTable2RatiosClose(t *testing.T) {
+	r, err := Table2(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != mesh.NumMaterials {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		diff := strings.TrimSuffix(strings.TrimSpace(strings.TrimSuffix(row[3], "pp")), " ")
+		v, err := strconv.ParseFloat(strings.TrimPrefix(diff, "+"), 64)
+		if err != nil {
+			t.Fatalf("bad diff %q", row[3])
+		}
+		if v > 1.0 || v < -1.0 {
+			t.Errorf("material %s ratio off by %v pp", row[0], v)
+		}
+	}
+}
+
+func TestTable3ExactSizes(t *testing.T) {
+	r, err := Table3(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 3 rows: (material, count, bytes).
+	want := map[string]bool{
+		"H.E. Gas/2/48":        false,
+		"H.E. Gas/4/36":        false,
+		"Aluminum (both)/2/84": false,
+		"Aluminum (both)/4/48": false,
+		"Foam/2/60":            false,
+		"Foam/4/36":            false,
+		"All/6/120":            false,
+	}
+	for _, row := range r.Rows {
+		key := row[0] + "/" + row[1] + "/" + row[2]
+		if _, ok := want[key]; ok {
+			want[key] = true
+		} else {
+			t.Errorf("unexpected Table 3 row %v", row)
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing Table 3 row %s", k)
+		}
+	}
+}
+
+func TestTable4ExactCounts(t *testing.T) {
+	r, err := Table4(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row[1] != row[3] {
+			t.Errorf("%s size %s: reproduced %s != paper %s", row[0], row[2], row[1], row[3])
+		}
+	}
+}
+
+func TestTable6GeneralModelAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavyweight validation")
+	}
+	r, err := Table6(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		errPct := parsePct(t, row[4])
+		if errPct > 15 || errPct < -15 {
+			t.Errorf("general model error %v%% too large in quick mode (row %v)", errPct, row)
+		}
+	}
+}
+
+func TestFigure1Partitioning(t *testing.T) {
+	r, err := Figure1(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16 PEs", len(r.Rows))
+	}
+	total := 0
+	for _, row := range r.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 3200 {
+		t.Fatalf("cells sum to %d, want 3200", total)
+	}
+	if !strings.Contains(r.Text, "Material map") {
+		t.Fatal("material map missing")
+	}
+}
+
+func TestFigure3KneeVisible(t *testing.T) {
+	r, err := Figure3(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First row of phase 1 is n=1; per-cell cost there must exceed the
+	// cost at the largest tabulated n by >100x (the knee).
+	var first, last float64
+	for _, row := range r.Rows {
+		if row[0] != "1" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == 0 {
+			first = v
+		}
+		last = v
+	}
+	if first < 100*last {
+		t.Fatalf("knee not visible: cost(1)=%v vs cost(max)=%v", first, last)
+	}
+}
+
+func TestFigure4Invariants(t *testing.T) {
+	r, err := Figure4(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]string{}
+	for _, row := range r.Rows {
+		vals[row[0]] = row[1]
+	}
+	if vals["Total shared faces"] != "10" {
+		t.Fatalf("faces = %s", vals["Total shared faces"])
+	}
+	if vals["Boundary-exchange messages"] != "24" {
+		t.Fatalf("messages = %s", vals["Boundary-exchange messages"])
+	}
+}
+
+func TestCanonicalBoundaryConsistency(t *testing.T) {
+	b := CanonicalFigure4Boundary()
+	sumGroups := 0
+	for _, f := range b.FacesByGroup {
+		sumGroups += f
+	}
+	if sumGroups != b.TotalFaces {
+		t.Fatal("group faces do not sum to total")
+	}
+	if b.OwnedByA+b.OwnedByB != b.GhostNodes {
+		t.Fatal("ghost ownership does not sum")
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	e := env(t)
+	d1, err := e.Deck(mesh.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e.Deck(mesh.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("deck not cached")
+	}
+	s1, err := e.Partition(d1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.Partition(d1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("partition not cached")
+	}
+}
+
+func TestQuickDeckShrinks(t *testing.T) {
+	e := NewQuickEnv()
+	d, err := e.Deck(mesh.Large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mesh.NumCells() > 51200 {
+		t.Fatalf("quick deck too large: %d", d.Mesh.NumCells())
+	}
+	full := NewEnv()
+	fd, err := full.Deck(mesh.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Mesh.NumCells() != 3200 {
+		t.Fatalf("full small deck = %d cells", fd.Mesh.NumCells())
+	}
+}
+
+func TestRenderIncludesNotes(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}, Notes: "hello"}
+	if !strings.Contains(r.Render(), "Notes: hello") {
+		t.Fatal("notes missing from render")
+	}
+}

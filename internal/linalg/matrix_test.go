@@ -1,0 +1,216 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("fresh matrix not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0, 2) did not panic")
+		}
+	}()
+	NewMatrix(0, 2)
+}
+
+func TestNewMatrixFromRagged(t *testing.T) {
+	_, err := NewMatrixFrom([][]float64{{1, 2}, {3}})
+	if err == nil {
+		t.Fatal("ragged literal accepted")
+	}
+	_, err = NewMatrixFrom(nil)
+	if err == nil {
+		t.Fatal("empty literal accepted")
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Fatalf("At(0,1) = %v, want 7.5", got)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, err := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity(2)
+	p, err := a.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != a.At(i, j) {
+				t.Fatalf("A*I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b, _ := NewMatrixFrom([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("product (%d,%d) = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("dimension mismatch not reported")
+	}
+	if _, err := a.MulVec([]float64{1, 2}); err == nil {
+		t.Fatal("MulVec dimension mismatch not reported")
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	a, _ := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 17 || v[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", v)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := a.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	a, _ := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(1)
+	c := a.Col(0)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	if c[0] != 1 || c[1] != 3 {
+		t.Fatalf("Col(0) = %v", c)
+	}
+	cl := a.Clone()
+	cl.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", got)
+	}
+	// Norm2 must not overflow for large entries.
+	if got := Norm2([]float64{1e308, 1e308}); math.IsInf(got, 0) {
+		t.Fatal("Norm2 overflowed")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a, _ := NewMatrixFrom([][]float64{{1, -7}, {3, 4}})
+	if got := a.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+}
+
+// Property: (A*B)^T == B^T * A^T for random matrices.
+func TestTransposeProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, p := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := NewMatrix(m, n)
+		b := NewMatrix(n, p)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		left := ab.Transpose()
+		right, err := b.Transpose().Mul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < left.Rows(); i++ {
+			for j := 0; j < left.Cols(); j++ {
+				if !almostEqual(left.At(i, j), right.At(i, j), 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

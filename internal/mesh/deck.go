@@ -1,0 +1,196 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table2Heterogeneous is the global material ratio of the paper's input deck
+// (Table 2, "Hetero." row): the fractions of H.E. gas, inner aluminum, foam,
+// and outer aluminum cells.
+var Table2Heterogeneous = [NumMaterials]float64{0.391, 0.172, 0.203, 0.234}
+
+// Deck is an input problem: a mesh with materials assigned, plus the
+// metadata the hydro code needs (detonator placement).
+type Deck struct {
+	Name string
+	Mesh *Mesh
+
+	// DetonatorX, DetonatorY is the detonation point. The paper places the
+	// detonator on the axis of rotation (x = 0), slightly below center.
+	DetonatorX, DetonatorY float64
+}
+
+// StandardSize identifies one of the paper's three studied decks plus the
+// Figure 2 deck.
+type StandardSize int
+
+// The paper's deck sizes (§2.1 and Figure 2).
+const (
+	Small   StandardSize = iota // 3,200 cells  (80×40)
+	Medium                      // 204,800 cells (640×320)
+	Large                       // 819,200 cells (1280×640)
+	Figure2                     // 65,536 cells  (512×128), used in Figure 2
+)
+
+// String names the size as in the paper.
+func (s StandardSize) String() string {
+	switch s {
+	case Small:
+		return "Small"
+	case Medium:
+		return "Medium"
+	case Large:
+		return "Large"
+	case Figure2:
+		return "Figure2"
+	}
+	return fmt.Sprintf("StandardSize(%d)", int(s))
+}
+
+// Dims returns the structured grid dimensions used for each standard size.
+func (s StandardSize) Dims() (w, h int) {
+	switch s {
+	case Small:
+		return 80, 40
+	case Medium:
+		return 640, 320
+	case Large:
+		return 1280, 640
+	case Figure2:
+		return 512, 128
+	}
+	return 0, 0
+}
+
+// Cells returns the total cell count of the standard size.
+func (s StandardSize) Cells() int {
+	w, h := s.Dims()
+	return w * h
+}
+
+// BuildStandardDeck builds one of the paper's decks.
+func BuildStandardDeck(s StandardSize) (*Deck, error) {
+	w, h := s.Dims()
+	if w == 0 {
+		return nil, fmt.Errorf("mesh: unknown standard size %v", s)
+	}
+	d, err := BuildLayeredDeck(w, h)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = s.String()
+	return d, nil
+}
+
+// BuildLayeredDeck constructs the paper's input deck on a w×h grid: a 2-D
+// rectangular grid that is conceptually rotated about the vertical axis
+// (x = 0) to become a cylinder. Radial material layers run along x: a core
+// of high-explosive gas, a layer of aluminum, a layer of foam, and a second
+// layer of aluminum, with cell-count fractions as close as the grid allows
+// to Table 2's heterogeneous ratios. The detonator sits on the axis of
+// rotation slightly below the vertical center.
+func BuildLayeredDeck(w, h int) (*Deck, error) {
+	// Column boundaries from cumulative Table 2 fractions.
+	bounds := materialColumnBounds(w)
+	matOf := func(cx, cy int) Material {
+		for m := 0; m < NumMaterials; m++ {
+			if cx < bounds[m] {
+				return Material(m)
+			}
+		}
+		return AluminumOuter
+	}
+	// Physical extent: radial length 1.0, height w:h aspect.
+	lx := 1.0
+	ly := float64(h) / float64(w)
+	m, err := BuildStructured(w, h, lx, ly, matOf)
+	if err != nil {
+		return nil, err
+	}
+	return &Deck{
+		Name:       fmt.Sprintf("layered-%dx%d", w, h),
+		Mesh:       m,
+		DetonatorX: 0,
+		DetonatorY: 0.45 * ly, // slightly below center
+	}, nil
+}
+
+// materialColumnBounds returns, for each material, the exclusive upper
+// column index of its radial band, chosen so cumulative cell fractions track
+// Table 2 as closely as the grid resolution allows.
+func materialColumnBounds(w int) [NumMaterials]int {
+	var bounds [NumMaterials]int
+	cum := 0.0
+	for m := 0; m < NumMaterials; m++ {
+		cum += Table2Heterogeneous[m]
+		bounds[m] = int(math.Round(cum * float64(w)))
+	}
+	bounds[NumMaterials-1] = w // guard against rounding losses
+	return bounds
+}
+
+// BuildUniformDeck builds a contrived single-material deck, used by the
+// paper's §3.1 calibration methodology ("a contrived spatial grid is used to
+// determine how computation time scales with grid size").
+func BuildUniformDeck(w, h int, mat Material) (*Deck, error) {
+	lx := 1.0
+	ly := float64(h) / float64(w)
+	m, err := BuildStructured(w, h, lx, ly, func(cx, cy int) Material { return mat })
+	if err != nil {
+		return nil, err
+	}
+	return &Deck{
+		Name:       fmt.Sprintf("uniform-%v-%dx%d", mat, w, h),
+		Mesh:       m,
+		DetonatorX: 0,
+		DetonatorY: 0.45 * ly,
+	}, nil
+}
+
+// BuildTwoMaterialDeck builds the contrived two-region calibration deck from
+// §3.1: high-explosive gas on the left half (so a detonation can occur,
+// isolated to one process) and the probe material on the right half.
+func BuildTwoMaterialDeck(w, h int, probe Material) (*Deck, error) {
+	if w%2 != 0 {
+		return nil, fmt.Errorf("mesh: two-material deck needs even width, got %d", w)
+	}
+	lx := 1.0
+	ly := float64(h) / float64(w)
+	m, err := BuildStructured(w, h, lx, ly, func(cx, cy int) Material {
+		if cx < w/2 {
+			return HEGas
+		}
+		return probe
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Deck{
+		Name:       fmt.Sprintf("two-material-%v-%dx%d", probe, w, h),
+		Mesh:       m,
+		DetonatorX: 0,
+		DetonatorY: 0.45 * ly,
+	}, nil
+}
+
+// GridFor returns grid dimensions with a 2:1 aspect ratio (matching the
+// paper's decks) whose product is at least cells, preferring exact factor
+// splits when cells is of the form 2*k².
+func GridFor(cells int) (w, h int) {
+	if cells <= 0 {
+		return 1, 1
+	}
+	h = int(math.Sqrt(float64(cells) / 2))
+	if h < 1 {
+		h = 1
+	}
+	for h > 1 && cells%h != 0 {
+		h--
+	}
+	w = cells / h
+	if w*h < cells {
+		w++
+	}
+	return w, h
+}

@@ -1,0 +1,71 @@
+package mesh
+
+import "math"
+
+// EdgeLengths returns the four edge lengths of cell c in node order.
+func (m *Mesh) EdgeLengths(c int) [4]float64 {
+	n := m.CellNodes[c]
+	var out [4]float64
+	for i := 0; i < 4; i++ {
+		j := (i + 1) % 4
+		out[i] = math.Hypot(m.NodeX[n[j]]-m.NodeX[n[i]], m.NodeY[n[j]]-m.NodeY[n[i]])
+	}
+	return out
+}
+
+// AspectRatio returns the longest-to-shortest edge ratio of cell c; 1.0 for
+// a square, +Inf for a degenerate cell.
+func (m *Mesh) AspectRatio(c int) float64 {
+	e := m.EdgeLengths(c)
+	lo, hi := e[0], e[0]
+	for _, l := range e[1:] {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// QualitySummary aggregates mesh-quality statistics, used by the hydro
+// diagnostics to monitor grid deformation during Lagrangian motion.
+type QualitySummary struct {
+	Cells          int
+	MinArea        float64
+	MaxAspectRatio float64
+	MeanAspect     float64
+	Inverted       int // cells with non-positive area
+}
+
+// Quality scans all cells.
+func (m *Mesh) Quality() QualitySummary {
+	q := QualitySummary{Cells: m.NumCells(), MinArea: math.Inf(1)}
+	if q.Cells == 0 {
+		q.MinArea = 0
+		return q
+	}
+	var sumAspect float64
+	for c := 0; c < m.NumCells(); c++ {
+		a := m.CellArea(c)
+		if a < q.MinArea {
+			q.MinArea = a
+		}
+		if a <= 0 {
+			q.Inverted++
+		}
+		ar := m.AspectRatio(c)
+		if !math.IsInf(ar, 1) {
+			sumAspect += ar
+			if ar > q.MaxAspectRatio {
+				q.MaxAspectRatio = ar
+			}
+		}
+	}
+	q.MeanAspect = sumAspect / float64(q.Cells)
+	return q
+}

@@ -1,0 +1,62 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEdgeLengthsAndAspect(t *testing.T) {
+	// 2x1 cells over a 1x1 extent: each cell is 0.5 wide, 1.0 tall.
+	m, err := BuildStructured(2, 1, 1, 1, func(cx, cy int) Material { return Foam })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.EdgeLengths(0)
+	if math.Abs(e[0]-0.5) > 1e-12 || math.Abs(e[1]-1.0) > 1e-12 {
+		t.Fatalf("edges = %v", e)
+	}
+	if ar := m.AspectRatio(0); math.Abs(ar-2.0) > 1e-12 {
+		t.Fatalf("aspect = %v, want 2", ar)
+	}
+}
+
+func TestAspectRatioDegenerate(t *testing.T) {
+	m, err := BuildStructured(1, 1, 1, 1, func(cx, cy int) Material { return Foam })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collapse one edge.
+	m.NodeX[1] = m.NodeX[0]
+	m.NodeY[1] = m.NodeY[0]
+	if ar := m.AspectRatio(0); !math.IsInf(ar, 1) {
+		t.Fatalf("degenerate aspect = %v, want +Inf", ar)
+	}
+}
+
+func TestQualitySummary(t *testing.T) {
+	m, err := BuildStructured(4, 4, 1, 1, func(cx, cy int) Material { return Foam })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Quality()
+	if q.Cells != 16 || q.Inverted != 0 {
+		t.Fatalf("summary = %+v", q)
+	}
+	if math.Abs(q.MinArea-1.0/16) > 1e-12 {
+		t.Fatalf("min area = %v", q.MinArea)
+	}
+	if math.Abs(q.MeanAspect-1.0) > 1e-12 || math.Abs(q.MaxAspectRatio-1.0) > 1e-12 {
+		t.Fatalf("aspects = %v/%v, want 1", q.MeanAspect, q.MaxAspectRatio)
+	}
+	// Invert a cell by swapping two nodes.
+	m.CellNodes[0][1], m.CellNodes[0][3] = m.CellNodes[0][3], m.CellNodes[0][1]
+	q = m.Quality()
+	if q.Inverted != 1 {
+		t.Fatalf("inverted = %d, want 1", q.Inverted)
+	}
+	// Empty mesh.
+	empty := &Mesh{}
+	if q := empty.Quality(); q.Cells != 0 || q.MinArea != 0 {
+		t.Fatalf("empty quality = %+v", q)
+	}
+}

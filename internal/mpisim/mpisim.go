@@ -1,0 +1,361 @@
+// Package mpisim is a small MPI-like message-passing runtime over
+// goroutines and channels. It exists so the Krak stand-in application
+// (internal/hydro) can execute with the same communication structure the
+// paper describes — asynchronous sends, blocking receives, and collective
+// reductions acting as global synchronization points — inside a single
+// process, one goroutine per rank.
+//
+// Collectives are implemented over the point-to-point layer with binomial
+// trees, mirroring the binary-tree cost model of §4.3.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// packet is one in-flight message.
+type packet struct {
+	src, tag int
+	data     []float64
+}
+
+// World owns the mailboxes of a fixed-size rank group.
+type World struct {
+	size  int
+	boxes []*mailbox
+}
+
+// mailbox holds a rank's incoming messages with (src, tag) matching.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []packet
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(p packet) {
+	m.mu.Lock()
+	m.pending = append(m.pending, p)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) get(src, tag int) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, p := range m.pending {
+			if p.src == src && p.tag == tag {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return p.data
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// NewWorld creates a world of the given size.
+func NewWorld(size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpisim: invalid world size %d", size)
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Comm returns the endpoint for a rank.
+func (w *World) Comm(rank int) (*Comm, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("mpisim: rank %d out of range 0..%d", rank, w.size-1)
+	}
+	return &Comm{world: w, rank: rank}, nil
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to dst with a tag. Sends never block (asynchronous
+// semantics: the payload is copied into the destination mailbox).
+func (c *Comm) Send(dst, tag int, data []float64) error {
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("mpisim: send to invalid rank %d", dst)
+	}
+	if dst == c.rank {
+		return fmt.Errorf("mpisim: send to self (rank %d)", c.rank)
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.world.boxes[dst].put(packet{src: c.rank, tag: tag, data: cp})
+	return nil
+}
+
+// Request tracks an asynchronous send. Sends in this runtime buffer
+// eagerly, so completion is immediate; the type exists so application code
+// can follow the paper's structure — "asynchronous sends to each neighbor
+// are posted, followed by operations to ensure the send operations have
+// completed, and finally, blocking receives are posted".
+type Request struct {
+	err  error
+	done bool
+}
+
+// Wait blocks until the operation completes and returns its error.
+func (r *Request) Wait() error {
+	r.done = true
+	return r.err
+}
+
+// Done reports whether Wait has been called.
+func (r *Request) Done() bool { return r.done }
+
+// Isend posts an asynchronous send and returns a request to wait on.
+func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	return &Request{err: c.Send(dst, tag, data)}
+}
+
+// Waitall waits on every request and returns the first error.
+func Waitall(reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Recv blocks until a message with the given source and tag arrives.
+func (c *Comm) Recv(src, tag int) ([]float64, error) {
+	if src < 0 || src >= c.world.size {
+		return nil, fmt.Errorf("mpisim: recv from invalid rank %d", src)
+	}
+	if src == c.rank {
+		return nil, fmt.Errorf("mpisim: recv from self (rank %d)", c.rank)
+	}
+	return c.world.boxes[c.rank].get(src, tag), nil
+}
+
+// Internal collective tags live far above user space.
+const (
+	tagReduce = 1 << 28
+	tagBcast  = 1 << 29
+	tagGather = 1 << 27
+)
+
+// reduceOp combines two equal-length vectors elementwise.
+type reduceOp func(dst, src []float64)
+
+func opSum(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+func opMin(dst, src []float64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+func opMax(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// allreduce runs a binomial-tree reduce to rank 0 followed by a broadcast.
+// epoch distinguishes concurrent collectives issued by well-synchronized
+// callers (each collective call site must be reached by every rank in the
+// same order, as in MPI).
+func (c *Comm) allreduce(vals []float64, op reduceOp, epoch int) ([]float64, error) {
+	size := c.world.size
+	acc := make([]float64, len(vals))
+	copy(acc, vals)
+	// Reduce: at each round, ranks with the round bit set send to their
+	// partner and exit; others receive and combine.
+	for bit := 1; bit < size; bit <<= 1 {
+		if c.rank&bit != 0 {
+			dst := c.rank &^ bit
+			if err := c.Send(dst, tagReduce+epoch, acc); err != nil {
+				return nil, err
+			}
+			break
+		}
+		src := c.rank | bit
+		if src < size {
+			got, err := c.Recv(src, tagReduce+epoch)
+			if err != nil {
+				return nil, err
+			}
+			if len(got) != len(acc) {
+				return nil, fmt.Errorf("mpisim: allreduce length mismatch %d vs %d", len(got), len(acc))
+			}
+			op(acc, got)
+		}
+	}
+	return c.bcastFrom0(acc, epoch)
+}
+
+// bcastFrom0 broadcasts rank 0's value down the binomial tree.
+func (c *Comm) bcastFrom0(vals []float64, epoch int) ([]float64, error) {
+	size := c.world.size
+	// Find the highest bit of the world.
+	top := 1
+	for top < size {
+		top <<= 1
+	}
+	if c.rank != 0 {
+		// Receive from the parent: clear the lowest set bit.
+		parent := c.rank &^ (c.rank & -c.rank)
+		got, err := c.Recv(parent, tagBcast+epoch)
+		if err != nil {
+			return nil, err
+		}
+		vals = got
+	}
+	// Forward to children: set bits below the lowest set bit (rank 0:
+	// all bits).
+	low := c.rank & -c.rank
+	if c.rank == 0 {
+		low = top
+	}
+	for bit := low >> 1; bit >= 1; bit >>= 1 {
+		child := c.rank | bit
+		if child < size && child != c.rank {
+			if err := c.Send(child, tagBcast+epoch, vals); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return vals, nil
+}
+
+// AllreduceSum returns the elementwise sum across ranks. The epoch must be
+// unique per collective call site within a phase (any small non-negative
+// integer reused consistently by all ranks).
+func (c *Comm) AllreduceSum(vals []float64, epoch int) ([]float64, error) {
+	return c.allreduce(vals, opSum, 3*epoch)
+}
+
+// AllreduceMin returns the elementwise minimum across ranks.
+func (c *Comm) AllreduceMin(vals []float64, epoch int) ([]float64, error) {
+	return c.allreduce(vals, opMin, 3*epoch+1)
+}
+
+// AllreduceMax returns the elementwise maximum across ranks.
+func (c *Comm) AllreduceMax(vals []float64, epoch int) ([]float64, error) {
+	return c.allreduce(vals, opMax, 3*epoch+2)
+}
+
+// Bcast broadcasts root's data to every rank (binomial tree rooted at 0;
+// non-zero roots relay through 0).
+func (c *Comm) Bcast(root int, data []float64, epoch int) ([]float64, error) {
+	if root < 0 || root >= c.world.size {
+		return nil, fmt.Errorf("mpisim: bcast from invalid root %d", root)
+	}
+	ep := tagGather + 2*epoch
+	if root != 0 {
+		if c.rank == root {
+			if err := c.Send(0, ep, data); err != nil {
+				return nil, err
+			}
+		}
+		if c.rank == 0 {
+			got, err := c.Recv(root, ep)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+		}
+	}
+	return c.bcastFrom0(data, tagGather-tagBcast+2*epoch+1)
+}
+
+// Gather collects every rank's equal-length contribution at the root,
+// ordered by rank. Non-root ranks receive nil.
+func (c *Comm) Gather(root int, data []float64, epoch int) ([][]float64, error) {
+	if root < 0 || root >= c.world.size {
+		return nil, fmt.Errorf("mpisim: gather to invalid root %d", root)
+	}
+	ep := tagGather + tagReduce + epoch
+	if c.rank != root {
+		return nil, c.Send(root, ep, data)
+	}
+	out := make([][]float64, c.world.size)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	out[c.rank] = cp
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		got, err := c.Recv(r, ep)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Barrier synchronizes all ranks.
+func (c *Comm) Barrier(epoch int) error {
+	_, err := c.AllreduceSum([]float64{0}, 1<<20+epoch)
+	return err
+}
+
+// Run spawns size ranks, each executing body, and waits for completion.
+// The first non-nil error is returned.
+func Run(size int, body func(c *Comm) error) error {
+	w, err := NewWorld(size)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		comm, err := w.Comm(r)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(rank int, c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpisim: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			errs[rank] = body(c)
+		}(r, comm)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

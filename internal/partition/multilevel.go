@@ -1,0 +1,628 @@
+package partition
+
+import (
+	"fmt"
+
+	"krak/internal/stats"
+)
+
+// Multilevel is the METIS-style multilevel k-way partitioner: the graph is
+// coarsened once by repeated heavy-edge matching, the coarsest graph is
+// partitioned by recursive bisection (greedy growing + Fiduccia–Mattheyses
+// refinement with rollback), and the partition is projected back through the
+// levels with greedy k-way boundary refinement at each step.
+type Multilevel struct {
+	// Seed drives every randomized decision; equal seeds give identical
+	// partitions.
+	Seed uint64
+	// CoarsenTo stops coarsening once the graph has at most
+	// max(CoarsenTo, 12*k) vertices (default 64).
+	CoarsenTo int
+	// Tries is the number of initial bisections grown per coarsest graph,
+	// keeping the best (default 4).
+	Tries int
+	// MaxImbalance bounds the tolerated imbalance as a fraction, e.g. 0.05
+	// allows parts 5% above average (default 0.05).
+	MaxImbalance float64
+	// RefinePasses bounds the k-way refinement passes per level (default 4).
+	RefinePasses int
+}
+
+// NewMultilevel returns a Multilevel partitioner with default tuning.
+func NewMultilevel(seed uint64) *Multilevel {
+	return &Multilevel{Seed: seed, CoarsenTo: 64, Tries: 4, MaxImbalance: 0.05, RefinePasses: 4}
+}
+
+// Name implements Partitioner.
+func (ml *Multilevel) Name() string { return "multilevel-kway" }
+
+func (ml *Multilevel) coarsenTo() int {
+	if ml.CoarsenTo <= 1 {
+		return 64
+	}
+	return ml.CoarsenTo
+}
+
+func (ml *Multilevel) tries() int {
+	if ml.Tries <= 0 {
+		return 4
+	}
+	return ml.Tries
+}
+
+func (ml *Multilevel) maxImbalance() float64 {
+	if ml.MaxImbalance <= 0 {
+		return 0.05
+	}
+	return ml.MaxImbalance
+}
+
+func (ml *Multilevel) refinePasses() int {
+	if ml.RefinePasses <= 0 {
+		return 4
+	}
+	return ml.RefinePasses
+}
+
+// level captures one coarsening step.
+type level struct {
+	g    *Graph
+	cmap []int32 // fine vertex -> coarse vertex
+}
+
+// Partition implements Partitioner.
+func (ml *Multilevel) Partition(g *Graph, k int) ([]int, error) {
+	if err := validateArgs(g, k); err != nil {
+		return nil, err
+	}
+	rng := stats.Derive(ml.Seed, 0x9a17, uint64(k))
+
+	// Coarsening phase: contract heavy-edge matchings until the graph is
+	// small relative to k.
+	stopAt := ml.coarsenTo()
+	if t := 40 * k; t > stopAt {
+		stopAt = t
+	}
+	var levels []level
+	cur := g
+	for cur.NumVertices() > stopAt {
+		cmap, coarse := coarsenOnce(cur, rng)
+		if coarse.NumVertices() >= cur.NumVertices()*9/10 {
+			break // matching stalled; stop coarsening
+		}
+		levels = append(levels, level{g: cur, cmap: cmap})
+		cur = coarse
+	}
+
+	// Initial k-way partition of the coarsest graph by recursive bisection.
+	// The per-bisection tolerance shrinks with recursion depth so the
+	// compounded imbalance stays within MaxImbalance overall.
+	depth := 1
+	for 1<<depth < k {
+		depth++
+	}
+	bisectTol := ml.maxImbalance() / float64(depth)
+	if bisectTol < 0.002 {
+		bisectTol = 0.002
+	}
+	part := make([]int, cur.NumVertices())
+	vertices := make([]int32, cur.NumVertices())
+	for i := range vertices {
+		vertices[i] = int32(i)
+	}
+	ml.recurse(cur, vertices, k, 0, part, bisectTol, rng)
+	kwayRefine(cur, part, k, ml.maxImbalance(), ml.refinePasses(), rng)
+
+	// Uncoarsening with refinement at every level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fine := make([]int, lv.g.NumVertices())
+		for v := range fine {
+			fine[v] = part[lv.cmap[v]]
+		}
+		kwayRefine(lv.g, fine, k, ml.maxImbalance(), ml.refinePasses(), rng)
+		part = fine
+	}
+	return part, nil
+}
+
+// recurse bisects the subgraph induced by vertices into kL and kR shares,
+// assigning final part ids [base, base+k) into part. It is only invoked on
+// coarse graphs, so the induced-subgraph copies are cheap.
+func (ml *Multilevel) recurse(g *Graph, vertices []int32, k, base int, part []int, tol float64, rng *stats.SplitMix64) {
+	if k == 1 {
+		for _, v := range vertices {
+			part[v] = base
+		}
+		return
+	}
+	kL := k / 2
+	kR := k - kL
+	sub := induce(g, vertices)
+	frac := float64(kL) / float64(k)
+	side := ml.bisect(sub, frac, tol, rng)
+	var left, right []int32
+	for i, v := range vertices {
+		if side[i] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	// Degenerate splits can strand a side with fewer vertices than parts;
+	// rebalance by moving arbitrary vertices (never happens on meshes, but
+	// keeps the invariant for adversarial graphs).
+	for len(left) < kL {
+		left = append(left, right[len(right)-1])
+		right = right[:len(right)-1]
+	}
+	for len(right) < kR {
+		right = append(right, left[len(left)-1])
+		left = left[:len(left)-1]
+	}
+	ml.recurse(g, left, kL, base, part, tol, rng)
+	ml.recurse(g, right, kR, base+kL, part, tol, rng)
+}
+
+// induce builds the subgraph over the given vertices (in their given order).
+func induce(g *Graph, vertices []int32) *Graph {
+	newID := make(map[int32]int32, len(vertices))
+	for i, v := range vertices {
+		newID[v] = int32(i)
+	}
+	sub := &Graph{
+		Xadj: make([]int32, 1, len(vertices)+1),
+		VWgt: make([]int32, len(vertices)),
+	}
+	for i, v := range vertices {
+		sub.VWgt[i] = g.VWgt[v]
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := g.Adjncy[e]
+			if nu, ok := newID[u]; ok {
+				sub.Adjncy = append(sub.Adjncy, nu)
+				sub.AdjWgt = append(sub.AdjWgt, g.AdjWgt[e])
+			}
+		}
+		sub.Xadj = append(sub.Xadj, int32(len(sub.Adjncy)))
+	}
+	return sub
+}
+
+// bisect performs a multilevel bisection of g, targeting the given weight
+// fraction in side 0. Returns a 0/1 side per vertex.
+func (ml *Multilevel) bisect(g *Graph, frac, tol float64, rng *stats.SplitMix64) []int8 {
+	var levels []level
+	cur := g
+	for cur.NumVertices() > ml.coarsenTo() {
+		cmap, coarse := coarsenOnce(cur, rng)
+		if coarse.NumVertices() >= cur.NumVertices()*9/10 {
+			break
+		}
+		levels = append(levels, level{g: cur, cmap: cmap})
+		cur = coarse
+	}
+	target0 := int64(frac * float64(cur.TotalVWgt()))
+	var best []int8
+	var bestCut int64 = 1<<62 - 1
+	for t := 0; t < ml.tries(); t++ {
+		side := growBisection(cur, target0, rng)
+		fmRefine(cur, side, target0, tol, 4)
+		if c := cutSides(cur, side); c < bestCut {
+			bestCut = c
+			best = side
+		}
+	}
+	side := best
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fine := make([]int8, lv.g.NumVertices())
+		for v := range fine {
+			fine[v] = side[lv.cmap[v]]
+		}
+		t0 := int64(frac * float64(lv.g.TotalVWgt()))
+		fmRefine(lv.g, fine, t0, tol, 4)
+		side = fine
+	}
+	return side
+}
+
+// coarsenOnce computes a heavy-edge matching and contracts it.
+func coarsenOnce(g *Graph, rng *stats.SplitMix64) (cmap []int32, coarse *Graph) {
+	n := g.NumVertices()
+	order := randomOrder(n, rng)
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	nCoarse := int32(0)
+	cmap = make([]int32, n)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		// Pick the unmatched neighbor with the heaviest connecting edge.
+		bestU := int32(-1)
+		var bestW int32 = -1
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := g.Adjncy[e]
+			if match[u] == -1 && g.AdjWgt[e] > bestW {
+				bestW = g.AdjWgt[e]
+				bestU = u
+			}
+		}
+		if bestU >= 0 {
+			match[v] = bestU
+			match[bestU] = v
+			cmap[v] = nCoarse
+			cmap[bestU] = nCoarse
+		} else {
+			match[v] = v
+			cmap[v] = nCoarse
+		}
+		nCoarse++
+	}
+	// Contract. Edge accumulation uses a dense scratch array indexed by
+	// coarse vertex with a touched-list, avoiding per-vertex maps.
+	coarse = &Graph{
+		Xadj: make([]int32, 1, nCoarse+1),
+		VWgt: make([]int32, nCoarse),
+	}
+	for v := 0; v < n; v++ {
+		coarse.VWgt[cmap[v]] += g.VWgt[v]
+	}
+	members := make([][]int32, nCoarse)
+	for v := 0; v < n; v++ {
+		members[cmap[v]] = append(members[cmap[v]], int32(v))
+	}
+	acc := make([]int32, nCoarse)
+	var touched []int32
+	for cv := int32(0); cv < nCoarse; cv++ {
+		touched = touched[:0]
+		for _, v := range members[cv] {
+			for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+				cu := cmap[g.Adjncy[e]]
+				if cu == cv {
+					continue
+				}
+				if acc[cu] == 0 {
+					touched = append(touched, cu)
+				}
+				acc[cu] += g.AdjWgt[e]
+			}
+		}
+		for _, cu := range touched {
+			coarse.Adjncy = append(coarse.Adjncy, cu)
+			coarse.AdjWgt = append(coarse.AdjWgt, acc[cu])
+			acc[cu] = 0
+		}
+		coarse.Xadj = append(coarse.Xadj, int32(len(coarse.Adjncy)))
+	}
+	return cmap, coarse
+}
+
+func randomOrder(n int, rng *stats.SplitMix64) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(rng.Next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// growBisection grows side 0 by BFS from a random seed until it holds
+// roughly target0 weight.
+func growBisection(g *Graph, target0 int64, rng *stats.SplitMix64) []int8 {
+	n := g.NumVertices()
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	start := int32(rng.Next() % uint64(n))
+	var w0 int64
+	queue := []int32{start}
+	seen := make([]bool, n)
+	seen[start] = true
+	for len(queue) > 0 && w0 < target0 {
+		v := queue[0]
+		queue = queue[1:]
+		side[v] = 0
+		w0 += int64(g.VWgt[v])
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := g.Adjncy[e]
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	// Disconnected leftovers: if the BFS exhausted its component before
+	// reaching the target, keep absorbing unseen vertices.
+	if w0 < target0 {
+		for v := int32(0); v < int32(n) && w0 < target0; v++ {
+			if !seen[v] {
+				seen[v] = true
+				side[v] = 0
+				w0 += int64(g.VWgt[v])
+			}
+		}
+	}
+	return side
+}
+
+// cutSides returns the cut of a two-way side assignment.
+func cutSides(g *Graph, side []int8) int64 {
+	var cut int64
+	for v := 0; v < g.NumVertices(); v++ {
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			if side[v] != side[g.Adjncy[e]] {
+				cut += int64(g.AdjWgt[e])
+			}
+		}
+	}
+	return cut / 2
+}
+
+// fmRefine runs Fiduccia–Mattheyses passes with rollback on a bisection of a
+// small (coarse) graph: each pass repeatedly moves the highest-gain movable
+// boundary vertex, then keeps the best prefix of moves. Balance moves are
+// admitted when they keep side 0 within tol of target0, or strictly improve
+// the distance to target0 (so an out-of-tolerance start can recover).
+func fmRefine(g *Graph, side []int8, target0 int64, tol float64, maxPasses int) {
+	n := g.NumVertices()
+	lo0 := int64(float64(target0) * (1 - tol))
+	hi0 := int64(float64(target0) * (1 + tol))
+
+	var w0 int64
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			w0 += int64(g.VWgt[v])
+		}
+	}
+
+	gain := func(v int) int64 {
+		var ext, inter int64
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			if side[g.Adjncy[e]] != side[v] {
+				ext += int64(g.AdjWgt[e])
+			} else {
+				inter += int64(g.AdjWgt[e])
+			}
+		}
+		return ext - inter
+	}
+	dist := func(w int64) int64 {
+		if w > target0 {
+			return w - target0
+		}
+		return target0 - w
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		locked := make([]bool, n)
+		var moves []int
+		var cumGain, bestGain int64
+		bestPrefix := 0
+		for step := 0; step < n; step++ {
+			bestV := -1
+			var bestMoveGain int64 = -1 << 62
+			for v := 0; v < n; v++ {
+				if locked[v] {
+					continue
+				}
+				onBoundary := false
+				for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+					if side[g.Adjncy[e]] != side[v] {
+						onBoundary = true
+						break
+					}
+				}
+				if !onBoundary {
+					continue
+				}
+				nw0 := w0
+				if side[v] == 0 {
+					nw0 -= int64(g.VWgt[v])
+				} else {
+					nw0 += int64(g.VWgt[v])
+				}
+				if (nw0 < lo0 || nw0 > hi0) && dist(nw0) >= dist(w0) {
+					continue
+				}
+				if gv := gain(v); gv > bestMoveGain {
+					bestMoveGain = gv
+					bestV = v
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			if side[bestV] == 0 {
+				side[bestV] = 1
+				w0 -= int64(g.VWgt[bestV])
+			} else {
+				side[bestV] = 0
+				w0 += int64(g.VWgt[bestV])
+			}
+			locked[bestV] = true
+			cumGain += bestMoveGain
+			moves = append(moves, bestV)
+			if cumGain > bestGain {
+				bestGain = cumGain
+				bestPrefix = len(moves)
+			}
+			if cumGain < bestGain-64 {
+				break // gains have gone clearly negative; stop the pass
+			}
+		}
+		// Roll back past the best prefix.
+		for i := len(moves) - 1; i >= bestPrefix; i-- {
+			v := moves[i]
+			if side[v] == 0 {
+				side[v] = 1
+				w0 -= int64(g.VWgt[v])
+			} else {
+				side[v] = 0
+				w0 += int64(g.VWgt[v])
+			}
+		}
+		if bestGain <= 0 {
+			return
+		}
+	}
+}
+
+// kwayRefine runs greedy k-way boundary refinement: vertices on part
+// boundaries move to the neighboring part with the strongest connection when
+// that reduces the cut (or equals it while improving balance), subject to an
+// upper bound on the destination part's weight. Linear time per pass.
+func kwayRefine(g *Graph, part []int, k int, tol float64, maxPasses int, rng *stats.SplitMix64) {
+	n := g.NumVertices()
+	total := g.TotalVWgt()
+	maxW := int64(float64(total)/float64(k)*(1+tol)) + 1
+	w := make([]int64, k)
+	for v := 0; v < n; v++ {
+		w[part[v]] += int64(g.VWgt[v])
+	}
+	conn := make([]int64, k)
+	var touched []int
+
+	// Balance-enforcement phase: while any part exceeds maxW, push its
+	// boundary vertices into the most-connected non-overweight neighbor
+	// part, accepting cut increases. Projection from a coarse level can
+	// leave parts overweight because coarse vertices are indivisible; at
+	// finer levels vertices shrink and this phase restores the tolerance.
+	for round := 0; round < maxPasses+2; round++ {
+		over := false
+		for _, pw := range w {
+			if pw > maxW {
+				over = true
+				break
+			}
+		}
+		if !over {
+			break
+		}
+		moved := 0
+		order := randomOrder(n, rng)
+		for _, v32 := range order {
+			v := int(v32)
+			pv := part[v]
+			if w[pv] <= maxW {
+				continue
+			}
+			touched = touched[:0]
+			for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+				pu := part[g.Adjncy[e]]
+				if conn[pu] == 0 {
+					touched = append(touched, pu)
+				}
+				conn[pu] += int64(g.AdjWgt[e])
+			}
+			vw := int64(g.VWgt[v])
+			bestP := -1
+			var bestConn int64 = -1
+			for _, p := range touched {
+				if p == pv || w[p]+vw > maxW {
+					continue
+				}
+				if conn[p] > bestConn || (conn[p] == bestConn && bestP >= 0 && w[p] < w[bestP]) {
+					bestConn = conn[p]
+					bestP = p
+				}
+			}
+			if bestP < 0 {
+				// Cascade fallback: all neighbors are themselves at the
+				// bound; push into the lightest one anyway as long as that
+				// strictly levels the pair, letting weight percolate toward
+				// underweight parts over subsequent rounds.
+				for _, p := range touched {
+					if p == pv || w[p]+vw >= w[pv] {
+						continue
+					}
+					if bestP < 0 || w[p] < w[bestP] {
+						bestP = p
+					}
+				}
+			}
+			if bestP >= 0 {
+				w[pv] -= vw
+				w[bestP] += vw
+				part[v] = bestP
+				moved++
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := 0
+		order := randomOrder(n, rng)
+		for _, v32 := range order {
+			v := int(v32)
+			pv := part[v]
+			// Connectivity of v to each adjacent part.
+			touched = touched[:0]
+			boundary := false
+			for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+				pu := part[g.Adjncy[e]]
+				if pu != pv {
+					boundary = true
+				}
+				if conn[pu] == 0 {
+					touched = append(touched, pu)
+				}
+				conn[pu] += int64(g.AdjWgt[e])
+			}
+			if !boundary {
+				for _, p := range touched {
+					conn[p] = 0
+				}
+				continue
+			}
+			vw := int64(g.VWgt[v])
+			bestP := -1
+			var bestConn int64 = -1
+			for _, p := range touched {
+				if p == pv {
+					continue
+				}
+				if w[p]+vw > maxW {
+					continue
+				}
+				if conn[p] > bestConn || (conn[p] == bestConn && bestP >= 0 && w[p] < w[bestP]) {
+					bestConn = conn[p]
+					bestP = p
+				}
+			}
+			if bestP >= 0 {
+				gain := bestConn - conn[pv]
+				if gain > 0 || (gain == 0 && w[pv] > w[bestP]+vw) {
+					w[pv] -= vw
+					w[bestP] += vw
+					part[v] = bestP
+					moved++
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+		}
+		if moved == 0 {
+			return
+		}
+	}
+}
+
+// String describes the configuration.
+func (ml *Multilevel) String() string {
+	return fmt.Sprintf("multilevel(seed=%d, coarsenTo=%d, tries=%d, tol=%.2f)",
+		ml.Seed, ml.coarsenTo(), ml.tries(), ml.maxImbalance())
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMaxMinSum(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); got != 2.8 {
+		t.Fatalf("Mean = %v, want 2.8", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Fatalf("Min = %v, want 1", got)
+	}
+	if got := Sum(xs); got != 14 {
+		t.Fatalf("Sum = %v, want 14", got)
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 || Sum(nil) != 0 {
+		t.Fatal("empty-slice stats should be 0")
+	}
+	if StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("StdDev of <2 samples should be 0")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile of empty should be 0")
+	}
+	if Imbalance(nil) != 0 || Imbalance([]float64{0, 0}) != 0 {
+		t.Fatal("Imbalance of empty/zero should be 0")
+	}
+}
+
+func TestStdDevKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	got := StdDev(xs)
+	want := math.Sqrt(32.0 / 7.0) // sample stdev
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Fatalf("P25 = %v", got)
+	}
+	// Does not mutate input.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestRelErrPaperConvention(t *testing.T) {
+	// Table 6 row: Meas 61, Pred 66 -> -8.0% (paper convention).
+	got := RelErr(61, 66)
+	if math.Abs(got-(-5.0/61.0)) > 1e-12 {
+		t.Fatalf("RelErr(61,66) = %v", got)
+	}
+	if FormatPct(got) != "-8.2%" {
+		t.Fatalf("FormatPct = %q", FormatPct(got))
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("RelErr(0,0) should be 0")
+	}
+	if !math.IsInf(RelErr(0, 1), 1) {
+		t.Fatal("RelErr(0,1) should be +Inf")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{1, 1, 1, 1}); got != 1 {
+		t.Fatalf("balanced Imbalance = %v, want 1", got)
+	}
+	if got := Imbalance([]float64{2, 1, 1}); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Imbalance = %v, want 1.5", got)
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewSplitMix64(43)
+	same := 0
+	a = NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d/100", same)
+	}
+}
+
+func TestSplitMix64Range(t *testing.T) {
+	g := NewSplitMix64(7)
+	for i := 0; i < 10000; i++ {
+		f := g.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	g = NewSplitMix64(8)
+	for i := 0; i < 10000; i++ {
+		s := g.Sym()
+		if s < -1 || s >= 1 {
+			t.Fatalf("Sym out of range: %v", s)
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(1, 2, 3)
+	b := Derive(1, 2, 4)
+	c := Derive(1, 2, 3)
+	if a.Next() != c.Next() {
+		t.Fatal("Derive not deterministic")
+	}
+	if a.Next() == b.Next() {
+		t.Fatal("distinct keys produced identical streams (suspicious)")
+	}
+}
+
+func TestSplitMix64MeanProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewSplitMix64(seed)
+		var s float64
+		const n = 4096
+		for i := 0; i < n; i++ {
+			s += g.Float64()
+		}
+		mean := s / n
+		return mean > 0.45 && mean < 0.55
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxGEMeanGEMinProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip NaN/Inf and magnitudes whose sum could overflow.
+			if math.IsNaN(x) || math.Abs(x) > 1e300 {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return Max(xs) >= Mean(xs) && Mean(xs) >= Min(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
