@@ -1,0 +1,368 @@
+// Command krak is the single entry point to the Krak performance-model
+// reproduction, built entirely on the public façade (pkg/krak). It unifies
+// the former krak-model, krak-sim, krak-hydro, krak-part, and
+// krak-experiments binaries as subcommands.
+//
+// Usage:
+//
+//	krak predict     -deck medium -pe 128 -model general-homo [--json]
+//	krak simulate    -deck medium -pe 256 -iterations 5 [--json]
+//	krak hydro       -w 80 -h 40 -steps 200 -ranks 4 [--json]
+//	krak part        -deck small -pe 16 -algo rcb [--json]
+//	krak experiments -list | -run table6 | -write EXPERIMENTS.md [--json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"krak/pkg/krak"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "predict":
+		err = runPredict(os.Args[2:])
+	case "simulate":
+		err = runSimulate(os.Args[2:])
+	case "hydro":
+		err = runHydro(os.Args[2:])
+	case "part":
+		err = runPart(os.Args[2:])
+	case "experiments":
+		err = runExperiments(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "krak: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: krak <subcommand> [flags]
+
+subcommands:
+  predict      evaluate the analytic performance model
+  simulate     run the discrete-event cluster simulator ("measure")
+  hydro        run the Lagrangian hydrodynamics mini-app
+  part         partition a deck and report quality
+  experiments  regenerate the paper's tables and figures
+
+Run "krak <subcommand> -h" for the subcommand's flags. All subcommands
+accept --json for machine-readable output.
+`)
+}
+
+// machineFlags declares the flags shared by every subcommand that needs a
+// Machine and builds it.
+type machineFlags struct {
+	net       *string
+	seed      *uint64
+	quick     *bool
+	serialize *bool
+}
+
+func addMachineFlags(fs *flag.FlagSet, withSerialize bool) *machineFlags {
+	mf := &machineFlags{
+		net:   fs.String("net", "qsnet", "interconnect: qsnet, gige, infiniband"),
+		seed:  fs.Uint64("seed", 1, "partitioner seed"),
+		quick: fs.Bool("quick", false, "scaled-down decks and calibrations"),
+	}
+	if withSerialize {
+		mf.serialize = fs.Bool("serialize-sends", false, "disable message overlap")
+	}
+	return mf
+}
+
+func (mf *machineFlags) machine() (*krak.Machine, error) {
+	opts := []krak.MachineOption{
+		krak.WithInterconnect(*mf.net),
+		krak.WithSeed(*mf.seed),
+	}
+	if *mf.quick {
+		opts = append(opts, krak.WithQuick())
+	}
+	if mf.serialize != nil && *mf.serialize {
+		opts = append(opts, krak.WithSerializedSends())
+	}
+	return krak.NewMachine(opts...)
+}
+
+// emit prints a result as text or JSON.
+func emit(res *krak.Result, asJSON bool) error {
+	if asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func runPredict(args []string) error {
+	fs := flag.NewFlagSet("krak predict", flag.ExitOnError)
+	deck := fs.String("deck", "medium", "deck: small, medium, large, figure2")
+	pe := fs.Int("pe", 128, "processor count")
+	modelName := fs.String("model", "general-homo", "model: general-homo, general-het, mesh-specific")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	mf := addMachineFlags(fs, false)
+	fs.Parse(args)
+
+	model, err := krak.ParseModel(*modelName)
+	if err != nil {
+		return err
+	}
+	m, err := mf.machine()
+	if err != nil {
+		return err
+	}
+	sc, err := krak.NewScenario(krak.WithDeck(*deck), krak.WithPE(*pe), krak.WithModel(model))
+	if err != nil {
+		return err
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		return err
+	}
+	res, err := s.Predict()
+	if err != nil {
+		return err
+	}
+	return emit(res, *asJSON)
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("krak simulate", flag.ExitOnError)
+	deck := fs.String("deck", "medium", "deck: small, medium, large, figure2")
+	pe := fs.Int("pe", 128, "processor count")
+	iters := fs.Int("iterations", 5, "iterations to simulate")
+	parter := fs.String("partitioner", "multilevel", "multilevel, rcb, sfc, strips, random")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	mf := addMachineFlags(fs, true)
+	fs.Parse(args)
+
+	m, err := mf.machine()
+	if err != nil {
+		return err
+	}
+	sc, err := krak.NewScenario(
+		krak.WithDeck(*deck),
+		krak.WithPE(*pe),
+		krak.WithPartitioner(*parter),
+		krak.WithIterations(*iters),
+	)
+	if err != nil {
+		return err
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		return err
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		return err
+	}
+	return emit(res, *asJSON)
+}
+
+func runHydro(args []string) error {
+	fs := flag.NewFlagSet("krak hydro", flag.ExitOnError)
+	w := fs.Int("w", 40, "grid width (cells)")
+	h := fs.Int("h", 20, "grid height (cells)")
+	steps := fs.Int("steps", 100, "timesteps to run")
+	ranks := fs.Int("ranks", 1, "parallel goroutine ranks (1 = serial)")
+	report := fs.Int("report", 20, "diagnostics interval in steps, 0 to disable (serial only)")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	fs.Parse(args)
+
+	m := krak.QsNetCluster()
+	opts := []krak.ScenarioOption{
+		krak.WithDeckDims(*w, *h),
+		krak.WithSteps(*steps),
+		krak.WithRanks(*ranks),
+	}
+	if *report > 0 && *ranks <= 1 && !*asJSON {
+		opts = append(opts, krak.WithHydroProgress(*report, func(tk krak.HydroTick) {
+			fmt.Printf("cycle %4d  t=%.4f  dt=%.2e  burned=%4d  maxP=%8.3f  KE=%.4f  IE=%.4f\n",
+				tk.Cycle, tk.Time, tk.DT, tk.BurnedCells, tk.MaxPressure, tk.KineticEnergy, tk.InternalEnergy)
+		}))
+	}
+	sc, err := krak.NewScenario(opts...)
+	if err != nil {
+		return err
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		return err
+	}
+	res, err := s.RunHydro()
+	if err != nil {
+		return err
+	}
+	return emit(res, *asJSON)
+}
+
+func runPart(args []string) error {
+	fs := flag.NewFlagSet("krak part", flag.ExitOnError)
+	deck := fs.String("deck", "small", "deck: small, medium, large, figure2")
+	pe := fs.Int("pe", 16, "processor count")
+	algo := fs.String("algo", "multilevel", "multilevel, rcb, sfc, strips, random")
+	showMap := fs.Bool("map", true, "render the subgrid map")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	mf := addMachineFlags(fs, false)
+	fs.Parse(args)
+
+	m, err := mf.machine()
+	if err != nil {
+		return err
+	}
+	sc, err := krak.NewScenario(krak.WithDeck(*deck), krak.WithPE(*pe), krak.WithPartitioner(*algo))
+	if err != nil {
+		return err
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		return err
+	}
+	res, err := s.Partition()
+	if err != nil {
+		return err
+	}
+	if !*showMap && res.Partition != nil {
+		res.Partition.Map = ""
+	}
+	return emit(res, *asJSON)
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("krak experiments", flag.ExitOnError)
+	list := fs.Bool("list", false, "list available experiments")
+	run := fs.String("run", "", "run a single experiment by id (default: all)")
+	write := fs.String("write", "", "write results as markdown to this file")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	mf := addMachineFlags(fs, false)
+	fs.Parse(args)
+
+	if *list {
+		if *asJSON {
+			out, err := json.MarshalIndent(krak.ListExperiments(), "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		for _, e := range krak.ListExperiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	m, err := mf.machine()
+	if err != nil {
+		return err
+	}
+	sc, err := krak.NewScenario()
+	if err != nil {
+		return err
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		return err
+	}
+
+	var ids []string
+	if *run != "" {
+		ids = []string{*run}
+	} else {
+		for _, e := range krak.ListExperiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	var results []*krak.Result
+	for _, id := range ids {
+		res, err := s.Experiment(id)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		if !*asJSON {
+			fmt.Print(res.Render())
+			fmt.Println()
+		}
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	}
+	if *write != "" {
+		if err := os.WriteFile(*write, []byte(experimentsMarkdown(results, *mf.quick)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *write)
+	}
+	return nil
+}
+
+// experimentsMarkdown renders experiment results as the EXPERIMENTS.md
+// document the old krak-experiments binary produced.
+func experimentsMarkdown(results []*krak.Result, quick bool) string {
+	var md strings.Builder
+	md.WriteString("# EXPERIMENTS — paper vs reproduction\n\n")
+	md.WriteString("Generated by `krak experiments")
+	if quick {
+		md.WriteString(" -quick")
+	}
+	md.WriteString("`. The \"measured\" platform is the discrete-event cluster\n")
+	md.WriteString("simulator standing in for the paper's AlphaServer ES45 / QsNet-I machine\n")
+	md.WriteString("(see DESIGN.md for the substitution table); predictions come from the\n")
+	md.WriteString("analytic model. Match the *shapes*, not absolute numbers.\n\n")
+	for _, res := range results {
+		e := res.Experiment
+		if e == nil {
+			continue
+		}
+		fmt.Fprintf(&md, "## %s — %s\n\n", e.ID, e.Title)
+		if len(e.Header) > 0 {
+			fmt.Fprintf(&md, "| %s |\n", strings.Join(e.Header, " | "))
+			sep := make([]string, len(e.Header))
+			for i := range sep {
+				sep[i] = "---"
+			}
+			fmt.Fprintf(&md, "| %s |\n", strings.Join(sep, " | "))
+			for _, row := range e.Rows {
+				fmt.Fprintf(&md, "| %s |\n", strings.Join(row, " | "))
+			}
+			md.WriteString("\n")
+		}
+		if e.Text != "" {
+			fmt.Fprintf(&md, "```\n%s```\n\n", e.Text)
+		}
+		if e.Notes != "" {
+			fmt.Fprintf(&md, "%s\n\n", e.Notes)
+		}
+	}
+	return md.String()
+}

@@ -1,11 +1,22 @@
 // Package krak is a from-scratch Go reproduction of "A Performance Model
 // of the Krak Hydrodynamics Application" (Barker, Pakin, Kerbyson —
-// ICPP 2006): the analytic performance model itself (internal/core), the
-// Krak stand-in Lagrangian hydrodynamics mini-app (internal/hydro), the
-// METIS-style mesh partitioner (internal/partition), the QsNet-like network
-// model (internal/netmodel), and the discrete-event cluster simulator
-// (internal/cluster) that together regenerate every table and figure of the
-// paper's evaluation (internal/experiments).
+// ICPP 2006).
+//
+// The public API lives in pkg/krak: Machine describes the platform
+// (QsNetCluster is the paper's AlphaServer ES45 / QsNet-I validation
+// machine), Scenario describes the workload via functional options
+// (WithDeck, WithPE, WithModel, ...), and Session answers questions —
+// Predict (analytic model), Simulate (discrete-event "measured" platform),
+// RunHydro (the Lagrangian mini-app), Partition (partition quality), and
+// Experiment (regenerate a paper table or figure) — all returning a
+// unified Result with Render and MarshalJSON output. The cmd/krak CLI
+// exposes the same five operations as subcommands.
+//
+// Everything under internal/ — the analytic model (internal/core), the
+// hydro mini-app (internal/hydro), the METIS-style partitioner
+// (internal/partition), the QsNet-like network model (internal/netmodel),
+// and the cluster simulator (internal/cluster) — is unstable
+// implementation detail; depend only on pkg/krak.
 //
 // The root package carries the repository-level benchmark harness
 // (bench_test.go): one benchmark per paper table and figure plus the

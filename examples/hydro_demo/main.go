@@ -9,55 +9,51 @@ import (
 	"fmt"
 	"log"
 
-	"krak/internal/hydro"
-	"krak/internal/mesh"
-	"krak/internal/partition"
-	"krak/internal/textplot"
+	"krak/pkg/krak"
 )
 
 func main() {
-	deck, err := mesh.BuildLayeredDeck(40, 20)
-	if err != nil {
-		log.Fatal(err)
-	}
+	machine := krak.QsNetCluster()
 	const steps = 150
 
-	state, timers, err := hydro.RunSerial(deck, steps, hydro.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sd := state.Diag()
-	fmt.Printf("Serial run, %d cells, %d steps to t=%.4f:\n", deck.Mesh.NumCells(), steps, sd.Time)
-	fmt.Printf("  burned %d/%d HE cells, released %.4f energy\n",
-		sd.BurnedCells, deck.Mesh.MaterialCounts()[mesh.HEGas], sd.EnergyReleased)
-	fmt.Printf("  internal %.4f + kinetic %.4f = total %.4f (input+released %.4f)\n",
-		sd.InternalEnergy, sd.KineticEnergy, sd.TotalEnergy(),
-		sd.EnergyReleased+8.9e-7)
+	serial := runHydro(machine, steps, 1)
+	sd := serial.Hydro
+	fmt.Printf("Serial run, %d cells, %d steps to t=%.4f:\n", serial.Cells, steps, sd.Time)
+	fmt.Printf("  burned %d HE cells, released %.4f energy\n", sd.BurnedCells, sd.EnergyReleased)
+	fmt.Printf("  internal %.4f + kinetic %.4f = total %.4f\n",
+		sd.InternalEnergy, sd.KineticEnergy, sd.InternalEnergy+sd.KineticEnergy)
 	fmt.Printf("  peak pressure %.3f, min cell volume %.2e\n\n", sd.MaxPressure, sd.MinVolume)
 
 	// The same problem on 4 ranks over the goroutine MPI runtime.
-	g := partition.FromMesh(deck.Mesh)
-	part, err := partition.NewMultilevel(1).Partition(g, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := hydro.RunParallel(deck, part, 4, steps, hydro.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	pd := res.Diag
-	fmt.Printf("Parallel run on 4 ranks:\n")
+	parallel := runHydro(machine, steps, 4)
+	pd := parallel.Hydro
+	fmt.Printf("Parallel run on %d ranks:\n", pd.Ranks)
 	fmt.Printf("  internal %.4f + kinetic %.4f (serial: %.4f + %.4f)\n",
 		pd.InternalEnergy, pd.KineticEnergy, sd.InternalEnergy, sd.KineticEnergy)
 	fmt.Printf("  burned cells %d (serial %d)\n\n", pd.BurnedCells, sd.BurnedCells)
 
-	labels := make([]string, len(timers))
-	vals := make([]float64, len(timers))
-	for i := range timers {
-		labels[i] = fmt.Sprintf("phase %2d", i+1)
-		vals[i] = timers[i] * 1e3
-	}
-	fmt.Print(textplot.Bars("Serial wall-clock per phase (ms accumulated over the run):", labels, vals, 40))
+	fmt.Println("Serial per-phase profile (full rendering):")
+	fmt.Print(serial.Render())
 	fmt.Println("\nPhases 3 and 6 (EOS/forces and accelerations) dominate computation,")
 	fmt.Println("matching the weighting the performance model's cost tables assume.")
+}
+
+func runHydro(m *krak.Machine, steps, ranks int) *krak.Result {
+	sc, err := krak.NewScenario(
+		krak.WithDeckDims(40, 20),
+		krak.WithSteps(steps),
+		krak.WithRanks(ranks),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.RunHydro()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }

@@ -9,61 +9,66 @@ import (
 	"fmt"
 	"log"
 
-	"krak/internal/cluster"
-	"krak/internal/compute"
-	"krak/internal/core"
-	"krak/internal/experiments"
-	"krak/internal/mesh"
-	"krak/internal/netmodel"
+	"krak/pkg/krak"
 )
 
 func main() {
-	env := experiments.NewEnv()
-	deck, err := env.Deck(mesh.Large)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cells := deck.Mesh.NumCells()
-	cal, err := env.ContrivedCalibration()
-	if err != nil {
-		log.Fatal(err)
-	}
+	machines := []*krak.Machine{krak.GigECluster(), krak.QsNetCluster(), krak.InfinibandCluster()}
 
-	nets := []*netmodel.Model{netmodel.GigE(), netmodel.QsNetI(), netmodel.Infiniband()}
-	fmt.Printf("Large deck (%d cells): predicted iteration time (ms) by interconnect\n\n", cells)
-	fmt.Printf("  %6s  %18s  %18s  %18s\n", "PEs", nets[0].Name(), nets[1].Name(), nets[2].Name())
+	fmt.Println("Large deck: predicted iteration time (ms) by interconnect")
+	fmt.Printf("\n  %6s", "PEs")
+	for _, m := range machines {
+		fmt.Printf("  %24s", m.NetworkName())
+	}
+	fmt.Println()
 	for _, p := range []int{64, 128, 256, 512, 1024} {
 		fmt.Printf("  %6d", p)
-		for _, net := range nets {
-			model := core.NewGeneral(cal, net, core.Homogeneous)
-			pred, err := model.Predict(cells, p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  %18.1f", pred.Total*1e3)
+		for _, m := range machines {
+			fmt.Printf("  %24.1f", predict(m, p).TotalSeconds*1e3)
 		}
 		fmt.Println()
 	}
 
 	// Cross-check one point per network against the simulated platform.
 	fmt.Println("\nCross-check at 512 PEs (model vs simulated cluster):")
-	sum, err := env.Partition(deck, 512)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, net := range nets {
-		model := core.NewGeneral(cal, net, core.Homogeneous)
-		pred, err := model.Predict(cells, 512)
+	for _, m := range machines {
+		pred := predict(m, 512)
+		sc, err := krak.NewScenario(krak.WithDeck("large"), krak.WithPE(512), krak.WithIterations(3))
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, meas, err := cluster.SimulateIterations(sum, cluster.Config{Net: net, Costs: compute.ES45()}, 3)
+		s, err := krak.NewSession(m, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas, err := s.Simulate()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-24s model %6.1f ms, simulated %6.1f ms (%+.1f%%)\n",
-			net.Name(), pred.Total*1e3, meas*1e3, (meas-pred.Total)/meas*100)
+			m.NetworkName(), pred.TotalSeconds*1e3, meas.TotalSeconds*1e3,
+			(meas.TotalSeconds-pred.TotalSeconds)/meas.TotalSeconds*100)
 	}
 	fmt.Println("\nCommunication-bound at scale on GigE; QsNet and InfiniBand stay")
 	fmt.Println("compute-dominated — the quantitative form of the procurement answer.")
+}
+
+func predict(m *krak.Machine, p int) *krak.Result {
+	sc, err := krak.NewScenario(
+		krak.WithDeck("large"),
+		krak.WithPE(p),
+		krak.WithModel(krak.GeneralHomogeneous),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := s.Predict()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pred
 }

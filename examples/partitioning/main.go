@@ -9,45 +9,36 @@ import (
 	"fmt"
 	"log"
 
-	"krak/internal/cluster"
-	"krak/internal/compute"
-	"krak/internal/experiments"
-	"krak/internal/mesh"
-	"krak/internal/partition"
+	"krak/pkg/krak"
 )
 
 func main() {
-	env := experiments.NewEnv()
-	deck, err := env.Deck(mesh.Medium)
-	if err != nil {
-		log.Fatal(err)
-	}
-	g := partition.FromMesh(deck.Mesh)
+	machine := krak.QsNetCluster()
 	const p = 128
 
-	cfg := cluster.Config{Net: env.Net, Costs: compute.ES45()}
-	fmt.Printf("Medium deck (%d cells) on %d PEs:\n\n", deck.Mesh.NumCells(), p)
+	fmt.Printf("Medium deck on %d PEs:\n\n", p)
 	fmt.Println("  partitioner       edge cut  imbalance  max-nbrs  iteration(ms)")
-	for _, pr := range []partition.Partitioner{
-		partition.NewMultilevel(1),
-		partition.RCB{},
-		partition.Strips{},
-		partition.Random{Seed: 1},
-	} {
-		q, part, err := partition.Evaluate(pr, g, p)
+	for _, name := range []string{"multilevel", "rcb", "strips", "random"} {
+		sc, err := krak.NewScenario(
+			krak.WithDeck("medium"),
+			krak.WithPE(p),
+			krak.WithPartitioner(name),
+			krak.WithIterations(5),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sum, err := mesh.Summarize(deck.Mesh, part, p)
+		s, err := krak.NewSession(machine, sc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, mean, err := cluster.SimulateIterations(sum, cfg, 5)
+		meas, err := s.Simulate()
 		if err != nil {
 			log.Fatal(err)
 		}
+		q := meas.Partition
 		fmt.Printf("  %-16s  %8d  %9.3f  %8d  %12.1f\n",
-			q.Algorithm, q.EdgeCut, q.Imbalance, sum.MaxNeighbors(), mean*1e3)
+			q.Algorithm, q.EdgeCut, q.Imbalance, q.MaxNeighbors, meas.TotalSeconds*1e3)
 	}
 	fmt.Println("\nThe METIS-style multilevel partitioner minimizes the edge cut and the")
 	fmt.Println("iteration time; strips inflate boundaries and random partitioning is")

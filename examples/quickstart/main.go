@@ -1,55 +1,48 @@
-// Quickstart: build the paper's medium deck, calibrate the model from
-// simulated measurements, and predict iteration time at several scales —
-// the minimal end-to-end use of the library.
+// Quickstart: the minimal end-to-end use of the public façade — describe
+// the paper's machine, describe a scenario on the medium deck, then
+// predict with the analytic model and "measure" on the simulated cluster
+// at several scales.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"krak/internal/core"
-	"krak/internal/experiments"
-	"krak/internal/mesh"
+	"krak/pkg/krak"
 )
 
 func main() {
-	// An Env wires together the deck builders, the METIS-style
-	// partitioner, the QsNet-like network model, and the discrete-event
-	// cluster simulator that stands in for the paper's ES45 machine.
-	env := experiments.NewEnv()
+	// The paper's validation platform: AlphaServer ES45 nodes on QsNet-I.
+	// One Machine memoizes decks, partitions, and calibrations, so reuse
+	// it across sessions.
+	machine := krak.QsNetCluster()
 
-	deck, err := env.Deck(mesh.Medium)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("Deck: %s, %d cells, material fractions %.3v\n",
-		deck.Name, deck.Mesh.NumCells(), deck.Mesh.MaterialFractions())
-
-	// Calibrate per-cell cost curves the way §3.1 does: contrived
-	// single-material grids profiled on the measured platform.
-	cal, err := env.ContrivedCalibration()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// The general/homogeneous model is the paper's scalability tool.
-	model := core.NewGeneral(cal, env.Net, core.Homogeneous)
-	fmt.Println("\n  PEs   measured(ms)  predicted(ms)   error")
+	fmt.Println("  PEs   measured(ms)  predicted(ms)   error")
 	for _, p := range []int{64, 128, 256, 512} {
-		sum, err := env.Partition(deck, p)
+		// The general/homogeneous model is the paper's scalability tool.
+		sc, err := krak.NewScenario(
+			krak.WithDeck("medium"),
+			krak.WithPE(p),
+			krak.WithModel(krak.GeneralHomogeneous),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		meas, err := env.Measure(sum)
+		s, err := krak.NewSession(machine, sc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pred, err := model.Predict(deck.Mesh.NumCells(), p)
+		meas, err := s.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := s.Predict()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %4d   %10.1f   %11.1f   %+.1f%%\n",
-			p, meas*1e3, pred.Total*1e3, (meas-pred.Total)/meas*100)
+			p, meas.TotalSeconds*1e3, pred.TotalSeconds*1e3,
+			(meas.TotalSeconds-pred.TotalSeconds)/meas.TotalSeconds*100)
 	}
 	fmt.Println("\nThe paper's headline: the general model with a homogeneous material")
 	fmt.Println("assumption predicts 512-PE iteration time to within ~3% (Table 6).")

@@ -1,0 +1,3 @@
+module krak
+
+go 1.24

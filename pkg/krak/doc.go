@@ -1,0 +1,41 @@
+// Package krak is the public façade of the Krak performance-model
+// reproduction — the only supported entry point into the library. It wraps
+// the analytic model, the discrete-event cluster simulator, the
+// hydrodynamics mini-app, and the experiment registry behind three
+// concepts:
+//
+//   - A Machine describes the platform: the interconnect (QsNet-I by
+//     default, the paper's validation network), the ground-truth
+//     computation cost tables, the partitioner seed, and how many
+//     iterations are averaged per measurement. QsNetCluster returns the
+//     paper's AlphaServer ES45 / QsNet-I cluster; GigECluster and
+//     InfinibandCluster are the what-if presets.
+//
+//   - A Scenario describes the workload: which input deck, how many
+//     processors, which model variant, which partitioner, built with
+//     functional options such as WithDeck("medium"), WithPE(128), and
+//     WithModel(MeshSpecific).
+//
+//   - A Session binds the two and answers questions: Predict evaluates the
+//     analytic model, Simulate runs the cluster simulator ("measures"),
+//     RunHydro executes the actual mini-app, Partition reports partition
+//     quality, and Experiment regenerates a paper table or figure.
+//
+// Every Session method returns a unified *Result carrying typed per-phase
+// breakdowns, partition or hydro diagnostics, and both human-readable
+// (Render) and machine-readable (MarshalJSON) output.
+//
+// A minimal end-to-end use:
+//
+//	m := krak.QsNetCluster()
+//	sc, err := krak.NewScenario(krak.WithDeck("medium"), krak.WithPE(128))
+//	if err != nil { ... }
+//	s, err := krak.NewSession(m, sc)
+//	if err != nil { ... }
+//	res, err := s.Predict()
+//	if err != nil { ... }
+//	fmt.Print(res.Render())
+//
+// Everything under internal/ is unstable implementation detail; new code
+// should depend only on this package.
+package krak

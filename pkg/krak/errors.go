@@ -1,0 +1,34 @@
+package krak
+
+import "errors"
+
+// Sentinel errors returned (possibly wrapped with detail) by option
+// validation and Session methods. Match them with errors.Is.
+var (
+	// ErrUnknownDeck is returned for a deck name outside
+	// small|medium|large|figure2.
+	ErrUnknownDeck = errors.New("krak: unknown deck")
+
+	// ErrBadPE is returned when the processor count is not positive.
+	ErrBadPE = errors.New("krak: processor count must be positive")
+
+	// ErrUnknownModel is returned for a model outside the three variants
+	// (general-homo, general-het, mesh-specific).
+	ErrUnknownModel = errors.New("krak: unknown model")
+
+	// ErrUnknownPartitioner is returned for a partitioner name outside
+	// multilevel|rcb|sfc|strips|random.
+	ErrUnknownPartitioner = errors.New("krak: unknown partitioner")
+
+	// ErrUnknownInterconnect is returned for an interconnect name outside
+	// qsnet|gige|infiniband.
+	ErrUnknownInterconnect = errors.New("krak: unknown interconnect")
+
+	// ErrUnknownExperiment is returned by Session.Experiment for an id not
+	// in the registry.
+	ErrUnknownExperiment = errors.New("krak: unknown experiment")
+
+	// ErrBadOption is returned for out-of-range option values (iteration
+	// counts, hydro steps/ranks, deck dimensions).
+	ErrBadOption = errors.New("krak: invalid option value")
+)

@@ -1,0 +1,185 @@
+package krak
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScenarioOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  ScenarioOption
+		want error
+	}{
+		{"bad deck name", WithDeck("mega"), ErrUnknownDeck},
+		{"zero PE", WithPE(0), ErrBadPE},
+		{"negative PE", WithPE(-4), ErrBadPE},
+		{"unknown model", WithModel(Model(99)), ErrUnknownModel},
+		{"negative model", WithModel(Model(-1)), ErrUnknownModel},
+		{"unknown partitioner", WithPartitioner("zoltan"), ErrUnknownPartitioner},
+		{"zero iterations", WithIterations(0), ErrBadOption},
+		{"zero steps", WithSteps(0), ErrBadOption},
+		{"zero ranks", WithRanks(0), ErrBadOption},
+		{"bad deck dims", WithDeckDims(0, 10), ErrBadOption},
+		{"empty calibration", WithCalibrationPEs(), ErrBadOption},
+		{"bad calibration PE", WithCalibrationPEs(4, 0), ErrBadPE},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewScenario(tc.opt)
+			if err == nil {
+				t.Fatalf("NewScenario(%s): want error, got nil", tc.name)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("NewScenario(%s): got %v, want errors.Is(%v)", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	sc, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Deck() != "medium" || sc.PE() != 128 || sc.ModelChoice() != GeneralHomogeneous ||
+		sc.Partitioner() != "multilevel" || sc.Steps() != 100 || sc.Ranks() != 1 {
+		t.Errorf("unexpected defaults: deck=%s pe=%d model=%v partitioner=%s steps=%d ranks=%d",
+			sc.Deck(), sc.PE(), sc.ModelChoice(), sc.Partitioner(), sc.Steps(), sc.Ranks())
+	}
+}
+
+func TestMachineOptionValidation(t *testing.T) {
+	if _, err := NewMachine(WithInterconnect("token-ring")); !errors.Is(err, ErrUnknownInterconnect) {
+		t.Errorf("unknown interconnect: got %v, want ErrUnknownInterconnect", err)
+	}
+	if _, err := NewMachine(WithRepeats(0)); !errors.Is(err, ErrBadOption) {
+		t.Errorf("zero repeats: got %v, want ErrBadOption", err)
+	}
+}
+
+func TestMachinePresetRoundTrips(t *testing.T) {
+	presets := map[string]*Machine{
+		"qsnet":      QsNetCluster(),
+		"gige":       GigECluster(),
+		"infiniband": InfinibandCluster(),
+	}
+	for name, m := range presets {
+		if m.Interconnect() != name {
+			t.Errorf("%s preset: Interconnect() = %q", name, m.Interconnect())
+		}
+		// Rebuilding from the reported interconnect yields the same network.
+		back, err := NewMachine(WithInterconnect(m.Interconnect()))
+		if err != nil {
+			t.Fatalf("%s round-trip: %v", name, err)
+		}
+		if back.NetworkName() != m.NetworkName() {
+			t.Errorf("%s round-trip: %q != %q", name, back.NetworkName(), m.NetworkName())
+		}
+	}
+	m := QsNetCluster()
+	if m.Seed() != 1 || m.Repeats() != 5 || m.Quick() {
+		t.Errorf("QsNetCluster defaults: seed=%d repeats=%d quick=%v", m.Seed(), m.Repeats(), m.Quick())
+	}
+}
+
+func TestQuickRepeatsOrderIndependent(t *testing.T) {
+	for _, opts := range [][]MachineOption{
+		{WithRepeats(10), WithQuick()},
+		{WithQuick(), WithRepeats(10)},
+	} {
+		m, err := NewMachine(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Repeats() != 10 {
+			t.Errorf("explicit repeats overridden: got %d, want 10", m.Repeats())
+		}
+	}
+	m, err := NewMachine(WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Repeats() != 2 {
+		t.Errorf("quick default repeats: got %d, want 2", m.Repeats())
+	}
+}
+
+func TestRenderNilReportsDoNotPanic(t *testing.T) {
+	for _, k := range []Kind{KindHydro, KindPartition, KindExperiment} {
+		r := &Result{Kind: k}
+		if out := r.Render(); out == "" {
+			t.Errorf("kind %s: empty rendering for nil report", k)
+		}
+	}
+}
+
+func TestHydroProgressValidation(t *testing.T) {
+	if _, err := NewScenario(WithHydroProgress(0, func(HydroTick) {})); !errors.Is(err, ErrBadOption) {
+		t.Errorf("zero interval: got %v, want ErrBadOption", err)
+	}
+	if _, err := NewScenario(WithHydroProgress(5, nil)); !errors.Is(err, ErrBadOption) {
+		t.Errorf("nil callback: got %v, want ErrBadOption", err)
+	}
+}
+
+func TestModelParseRoundTrip(t *testing.T) {
+	for _, m := range []Model{GeneralHomogeneous, GeneralHeterogeneous, MeshSpecific} {
+		got, err := ParseModel(m.String())
+		if err != nil {
+			t.Fatalf("ParseModel(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("ParseModel(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	if _, err := ParseModel("spectral"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("ParseModel(spectral): got %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	sc, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(nil, sc); !errors.Is(err, ErrBadOption) {
+		t.Errorf("nil machine: got %v, want ErrBadOption", err)
+	}
+	if _, err := NewSession(QsNetCluster(), nil); !errors.Is(err, ErrBadOption) {
+		t.Errorf("nil scenario: got %v, want ErrBadOption", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	sc, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(QsNetCluster(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Experiment("table99"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown experiment: got %v, want ErrUnknownExperiment", err)
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	list := ListExperiments()
+	if len(list) == 0 {
+		t.Fatal("ListExperiments returned nothing")
+	}
+	found := false
+	for _, e := range list {
+		if e.ID == "table5" {
+			found = true
+			if e.Title == "" {
+				t.Error("table5 has an empty title")
+			}
+		}
+	}
+	if !found {
+		t.Error("registry is missing table5")
+	}
+}

@@ -1,0 +1,181 @@
+package krak
+
+import (
+	"fmt"
+	"sync"
+
+	"krak/internal/compute"
+	"krak/internal/experiments"
+	"krak/internal/mesh"
+	"krak/internal/netmodel"
+)
+
+// Machine describes the platform predictions and simulations run against:
+// the interconnect, the ground-truth computation cost tables, the
+// partitioner seed, and the measurement repeat count. A Machine memoizes
+// the expensive shared artifacts (decks, partitions, calibrations), so
+// reuse one Machine across Sessions whenever the platform is the same.
+type Machine struct {
+	interconnect string
+	serialize    bool
+	quick        bool
+	repeatsSet   bool
+
+	env *experiments.Env
+
+	mu       sync.Mutex
+	deckCals map[string]*compute.Calibrated
+}
+
+// MachineOption configures NewMachine.
+type MachineOption func(*Machine) error
+
+// WithInterconnect selects the network model by name: "qsnet" (the paper's
+// QsNet-I), "gige", or "infiniband".
+func WithInterconnect(name string) MachineOption {
+	return func(m *Machine) error {
+		net, err := interconnectByName(name)
+		if err != nil {
+			return err
+		}
+		m.interconnect = name
+		m.env.Net = net
+		return nil
+	}
+}
+
+// WithSeed sets the partitioner seed (default 1).
+func WithSeed(seed uint64) MachineOption {
+	return func(m *Machine) error {
+		m.env.Seed = seed
+		return nil
+	}
+}
+
+// WithRepeats sets how many simulated iterations are averaged per
+// measurement (default 5).
+func WithRepeats(n int) MachineOption {
+	return func(m *Machine) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: repeats %d", ErrBadOption, n)
+		}
+		m.env.Repeats = n
+		m.repeatsSet = true
+		return nil
+	}
+}
+
+// WithSerializedSends disables message overlap in the simulator, mirroring
+// the no-overlap accounting of the model's Equation (5).
+func WithSerializedSends() MachineOption {
+	return func(m *Machine) error {
+		m.serialize = true
+		return nil
+	}
+}
+
+// WithQuick scales the standard decks and calibration campaigns down so
+// smoke tests and CI stay fast, and lowers the default repeat count to 2
+// (an explicit WithRepeats wins regardless of option order).
+// Paper-faithful runs leave it off.
+func WithQuick() MachineOption {
+	return func(m *Machine) error {
+		m.quick = true
+		m.env.Quick = true
+		return nil
+	}
+}
+
+func interconnectByName(name string) (*netmodel.Model, error) {
+	switch name {
+	case "qsnet":
+		return netmodel.QsNetI(), nil
+	case "gige":
+		return netmodel.GigE(), nil
+	case "infiniband":
+		return netmodel.Infiniband(), nil
+	}
+	return nil, fmt.Errorf("%w: %q (qsnet|gige|infiniband)", ErrUnknownInterconnect, name)
+}
+
+// NewMachine builds a machine; with no options it is the paper's
+// QsNet-I / ES45 cluster.
+func NewMachine(opts ...MachineOption) (*Machine, error) {
+	m := &Machine{
+		interconnect: "qsnet",
+		env:          experiments.NewEnv(),
+		deckCals:     map[string]*compute.Calibrated{},
+	}
+	for _, opt := range opts {
+		if err := opt(m); err != nil {
+			return nil, err
+		}
+	}
+	if m.quick && !m.repeatsSet {
+		m.env.Repeats = 2
+	}
+	return m, nil
+}
+
+func mustMachine(opts ...MachineOption) *Machine {
+	m, err := NewMachine(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// QsNetCluster is the paper's validation platform: AlphaServer ES45 nodes
+// on Quadrics QsNet-I, with the ES45 ground-truth cost tables.
+func QsNetCluster() *Machine { return mustMachine() }
+
+// GigECluster is the commodity gigabit-Ethernet what-if platform.
+func GigECluster() *Machine { return mustMachine(WithInterconnect("gige")) }
+
+// InfinibandCluster is the low-latency what-if platform.
+func InfinibandCluster() *Machine { return mustMachine(WithInterconnect("infiniband")) }
+
+// Interconnect returns the configured interconnect's short name
+// ("qsnet", "gige", "infiniband").
+func (m *Machine) Interconnect() string { return m.interconnect }
+
+// NetworkName returns the network model's descriptive name, e.g.
+// "QsNet-I (Elan3) / ES45".
+func (m *Machine) NetworkName() string { return m.env.Net.Name() }
+
+// Seed returns the partitioner seed.
+func (m *Machine) Seed() uint64 { return m.env.Seed }
+
+// Repeats returns the measurement repeat count.
+func (m *Machine) Repeats() int {
+	if m.env.Repeats <= 0 {
+		return 5
+	}
+	return m.env.Repeats
+}
+
+// Quick reports whether the machine is in scaled-down mode.
+func (m *Machine) Quick() bool { return m.quick }
+
+// deckCalibration memoizes the §3.1 least-squares deck calibration per
+// (deck, campaign) pair.
+func (m *Machine) deckCalibration(d *mesh.Deck, calPEs []int) (*compute.Calibrated, error) {
+	key := d.Name
+	for _, p := range calPEs {
+		key += fmt.Sprintf("/%d", p)
+	}
+	m.mu.Lock()
+	cal, ok := m.deckCals[key]
+	m.mu.Unlock()
+	if ok {
+		return cal, nil
+	}
+	cal, err := m.env.DeckCalibration(d, calPEs)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.deckCals[key] = cal
+	m.mu.Unlock()
+	return cal, nil
+}

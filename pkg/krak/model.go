@@ -1,0 +1,52 @@
+package krak
+
+import "fmt"
+
+// Model selects one of the paper's analytic model variants.
+type Model int
+
+// The three model variants of §3.
+const (
+	// GeneralHomogeneous is the general model (§3.2) under the homogeneous
+	// material assumption — the paper's headline scalability tool.
+	GeneralHomogeneous Model = iota
+
+	// GeneralHeterogeneous is the general model under the heterogeneous
+	// (global material ratio) assumption.
+	GeneralHeterogeneous
+
+	// MeshSpecific is the mesh-specific ("input-specific") model (§3.1):
+	// it consumes the exact partition summary and the full Table 3
+	// message-size rules.
+	MeshSpecific
+)
+
+// String names the variant using the CLI spelling.
+func (m Model) String() string {
+	switch m {
+	case GeneralHomogeneous:
+		return "general-homo"
+	case GeneralHeterogeneous:
+		return "general-het"
+	case MeshSpecific:
+		return "mesh-specific"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+func (m Model) valid() bool {
+	return m >= GeneralHomogeneous && m <= MeshSpecific
+}
+
+// ParseModel maps a CLI spelling back to a Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "general-homo", "general-homogeneous":
+		return GeneralHomogeneous, nil
+	case "general-het", "general-heterogeneous":
+		return GeneralHeterogeneous, nil
+	case "mesh-specific", "input-specific":
+		return MeshSpecific, nil
+	}
+	return 0, fmt.Errorf("%w: %q (general-homo|general-het|mesh-specific)", ErrUnknownModel, s)
+}

@@ -1,0 +1,244 @@
+package krak
+
+import (
+	"fmt"
+
+	"krak/internal/mesh"
+	"krak/internal/partition"
+)
+
+// Scenario describes one workload: the input deck, the processor count,
+// the model variant, the partitioner, and the hydro-run shape. Build it
+// with NewScenario and functional options; the zero-option scenario is the
+// paper's medium deck on 128 processors under the general/homogeneous
+// model.
+type Scenario struct {
+	deckName string
+	deckSize mesh.StandardSize
+	custom   bool
+	w, h     int
+
+	pe          int
+	model       Model
+	partitioner string
+	iterations  int // 0 ⇒ the machine's repeat count
+	calPEs      []int
+
+	steps int // hydro timesteps
+	ranks int // hydro goroutine ranks
+
+	progressEvery int
+	progressFn    func(HydroTick)
+}
+
+// HydroTick is a periodic in-run diagnostic snapshot delivered to a
+// WithHydroProgress callback.
+type HydroTick struct {
+	Cycle          int
+	Time           float64
+	DT             float64
+	BurnedCells    int
+	MaxPressure    float64
+	KineticEnergy  float64
+	InternalEnergy float64
+}
+
+// ScenarioOption configures NewScenario.
+type ScenarioOption func(*Scenario) error
+
+// WithDeck selects a standard deck by name: "small", "medium", "large", or
+// "figure2".
+func WithDeck(name string) ScenarioOption {
+	return func(sc *Scenario) error {
+		sz, err := deckSizeByName(name)
+		if err != nil {
+			return err
+		}
+		sc.deckName, sc.deckSize, sc.custom = name, sz, false
+		return nil
+	}
+}
+
+// WithDeckDims builds a custom layered deck of w×h cells instead of a
+// standard one — the hydro mini-app's usual input.
+func WithDeckDims(w, h int) ScenarioOption {
+	return func(sc *Scenario) error {
+		if w <= 0 || h <= 0 {
+			return fmt.Errorf("%w: deck dims %dx%d", ErrBadOption, w, h)
+		}
+		sc.deckName = fmt.Sprintf("layered-%dx%d", w, h)
+		sc.custom, sc.w, sc.h = true, w, h
+		return nil
+	}
+}
+
+// WithPE sets the processor count the prediction or simulation targets.
+func WithPE(n int) ScenarioOption {
+	return func(sc *Scenario) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: %d", ErrBadPE, n)
+		}
+		sc.pe = n
+		return nil
+	}
+}
+
+// WithModel selects the analytic model variant Predict uses.
+func WithModel(m Model) ScenarioOption {
+	return func(sc *Scenario) error {
+		if !m.valid() {
+			return fmt.Errorf("%w: %v", ErrUnknownModel, m)
+		}
+		sc.model = m
+		return nil
+	}
+}
+
+// WithPartitioner selects the partitioning algorithm by name: "multilevel"
+// (METIS-style, the default), "rcb", "sfc", "strips", or "random".
+func WithPartitioner(name string) ScenarioOption {
+	return func(sc *Scenario) error {
+		if _, err := partitionerByName(name, 0); err != nil {
+			return err
+		}
+		sc.partitioner = name
+		return nil
+	}
+}
+
+// WithIterations sets how many simulated iterations Simulate averages,
+// overriding the machine's repeat count.
+func WithIterations(n int) ScenarioOption {
+	return func(sc *Scenario) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: iterations %d", ErrBadOption, n)
+		}
+		sc.iterations = n
+		return nil
+	}
+}
+
+// WithCalibrationPEs sets the processor counts of the mesh-specific
+// model's least-squares calibration campaign (default 2, 8, 32).
+func WithCalibrationPEs(pes ...int) ScenarioOption {
+	return func(sc *Scenario) error {
+		if len(pes) == 0 {
+			return fmt.Errorf("%w: empty calibration campaign", ErrBadOption)
+		}
+		for _, p := range pes {
+			if p <= 0 {
+				return fmt.Errorf("%w: calibration %d", ErrBadPE, p)
+			}
+		}
+		sc.calPEs = append([]int(nil), pes...)
+		return nil
+	}
+}
+
+// WithSteps sets how many timesteps RunHydro advances (default 100).
+func WithSteps(n int) ScenarioOption {
+	return func(sc *Scenario) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: steps %d", ErrBadOption, n)
+		}
+		sc.steps = n
+		return nil
+	}
+}
+
+// WithHydroProgress invokes fn after every `every` completed timesteps of
+// a serial RunHydro with a diagnostics snapshot — the in-run progress the
+// mini-app prints on long runs. Parallel runs ignore it.
+func WithHydroProgress(every int, fn func(HydroTick)) ScenarioOption {
+	return func(sc *Scenario) error {
+		if every <= 0 {
+			return fmt.Errorf("%w: progress interval %d", ErrBadOption, every)
+		}
+		if fn == nil {
+			return fmt.Errorf("%w: nil progress callback", ErrBadOption)
+		}
+		sc.progressEvery, sc.progressFn = every, fn
+		return nil
+	}
+}
+
+// WithRanks sets the hydro mini-app's goroutine rank count (1 = serial).
+func WithRanks(n int) ScenarioOption {
+	return func(sc *Scenario) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: ranks %d", ErrBadOption, n)
+		}
+		sc.ranks = n
+		return nil
+	}
+}
+
+func deckSizeByName(name string) (mesh.StandardSize, error) {
+	switch name {
+	case "small":
+		return mesh.Small, nil
+	case "medium":
+		return mesh.Medium, nil
+	case "large":
+		return mesh.Large, nil
+	case "figure2":
+		return mesh.Figure2, nil
+	}
+	return 0, fmt.Errorf("%w: %q (small|medium|large|figure2)", ErrUnknownDeck, name)
+}
+
+func partitionerByName(name string, seed uint64) (partition.Partitioner, error) {
+	switch name {
+	case "multilevel":
+		return partition.NewMultilevel(seed), nil
+	case "rcb":
+		return partition.RCB{}, nil
+	case "sfc":
+		return partition.SFC{}, nil
+	case "strips":
+		return partition.Strips{}, nil
+	case "random":
+		return partition.Random{Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("%w: %q (multilevel|rcb|sfc|strips|random)", ErrUnknownPartitioner, name)
+}
+
+// NewScenario builds a scenario. Defaults: the medium deck on 128
+// processors, the general/homogeneous model, the multilevel partitioner,
+// 100 hydro timesteps on 1 rank.
+func NewScenario(opts ...ScenarioOption) (*Scenario, error) {
+	sc := &Scenario{
+		deckName:    "medium",
+		deckSize:    mesh.Medium,
+		pe:          128,
+		model:       GeneralHomogeneous,
+		partitioner: "multilevel",
+		calPEs:      []int{2, 8, 32},
+		steps:       100,
+		ranks:       1,
+	}
+	for _, opt := range opts {
+		if err := opt(sc); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// Deck returns the scenario's deck name.
+func (sc *Scenario) Deck() string { return sc.deckName }
+
+// PE returns the target processor count.
+func (sc *Scenario) PE() int { return sc.pe }
+
+// ModelChoice returns the model variant Predict will use.
+func (sc *Scenario) ModelChoice() Model { return sc.model }
+
+// Partitioner returns the partitioner name.
+func (sc *Scenario) Partitioner() string { return sc.partitioner }
+
+// Steps returns the hydro timestep count.
+func (sc *Scenario) Steps() int { return sc.steps }
+
+// Ranks returns the hydro rank count.
+func (sc *Scenario) Ranks() int { return sc.ranks }

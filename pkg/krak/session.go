@@ -1,0 +1,353 @@
+package krak
+
+import (
+	"fmt"
+
+	"krak/internal/cluster"
+	"krak/internal/core"
+	"krak/internal/experiments"
+	"krak/internal/hydro"
+	"krak/internal/mesh"
+	"krak/internal/partition"
+	"krak/internal/stats"
+	"krak/internal/textplot"
+)
+
+// Session binds a Machine to a Scenario and answers the paper's
+// questions: Predict (analytic model), Simulate (the discrete-event
+// "measured" platform), RunHydro (the actual mini-app), Partition
+// (partition quality), and Experiment (regenerate a paper artifact).
+type Session struct {
+	m  *Machine
+	sc *Scenario
+}
+
+// NewSession binds a machine and a scenario.
+func NewSession(m *Machine, sc *Scenario) (*Session, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil machine", ErrBadOption)
+	}
+	if sc == nil {
+		return nil, fmt.Errorf("%w: nil scenario", ErrBadOption)
+	}
+	return &Session{m: m, sc: sc}, nil
+}
+
+// deck resolves the scenario's deck, using the machine's cache for
+// standard sizes.
+func (s *Session) deck() (*mesh.Deck, error) {
+	if s.sc.custom {
+		return mesh.BuildLayeredDeck(s.sc.w, s.sc.h)
+	}
+	return s.m.env.Deck(s.sc.deckSize)
+}
+
+// partitionSummary resolves the scenario's partition, cached on the
+// machine for the default multilevel partitioner.
+func (s *Session) partitionSummary(d *mesh.Deck) (*mesh.PartitionSummary, error) {
+	if s.sc.partitioner == "multilevel" {
+		return s.m.env.Partition(d, s.sc.pe)
+	}
+	pr, err := partitionerByName(s.sc.partitioner, s.m.env.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := partition.FromMesh(d.Mesh)
+	part, err := pr.Partition(g, s.sc.pe)
+	if err != nil {
+		return nil, err
+	}
+	return mesh.Summarize(d.Mesh, part, s.sc.pe)
+}
+
+func (s *Session) iterations() int {
+	if s.sc.iterations > 0 {
+		return s.sc.iterations
+	}
+	return s.m.Repeats()
+}
+
+// Predict evaluates the scenario's analytic model variant and returns a
+// KindPredict result with the per-phase compute/P2P/collective split.
+func (s *Session) Predict() (*Result, error) {
+	d, err := s.deck()
+	if err != nil {
+		return nil, err
+	}
+	var pred *core.Prediction
+	switch s.sc.model {
+	case GeneralHomogeneous, GeneralHeterogeneous:
+		cal, err := s.m.env.ContrivedCalibration()
+		if err != nil {
+			return nil, err
+		}
+		mode := core.Homogeneous
+		if s.sc.model == GeneralHeterogeneous {
+			mode = core.Heterogeneous
+		}
+		pred, err = core.NewGeneral(cal, s.m.env.Net, mode).Predict(d.Mesh.NumCells(), s.sc.pe)
+		if err != nil {
+			return nil, err
+		}
+	case MeshSpecific:
+		cal, err := s.m.deckCalibration(d, s.sc.calPEs)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := s.partitionSummary(d)
+		if err != nil {
+			return nil, err
+		}
+		pred, err = core.NewMeshSpecific(cal, s.m.env.Net).Predict(sum)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, s.sc.model)
+	}
+
+	res := &Result{
+		Kind:           KindPredict,
+		Deck:           d.Name,
+		Cells:          d.Mesh.NumCells(),
+		PEs:            s.sc.pe,
+		Network:        s.m.NetworkName(),
+		Model:          s.sc.model.String(),
+		TotalSeconds:   pred.Total,
+		ComputeSeconds: pred.Compute(),
+		CommSeconds:    pred.Communication(),
+	}
+	for i := range pred.PhaseCompute {
+		res.Phases = append(res.Phases, PhaseBreakdown{
+			Phase:        i + 1,
+			Compute:      pred.PhaseCompute[i],
+			PointToPoint: pred.PhaseP2P[i],
+			Collective:   pred.PhaseCollective[i],
+			Comm:         pred.PhaseP2P[i] + pred.PhaseCollective[i],
+			Total:        pred.PhaseTotal(i + 1),
+		})
+	}
+	return res, nil
+}
+
+// Simulate runs the cluster simulator for the scenario's iteration count
+// and returns a KindSimulate result: the first iteration's per-phase
+// breakdown plus mean/min/max statistics over all iterations.
+func (s *Session) Simulate() (*Result, error) {
+	d, err := s.deck()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := s.partitionSummary(d)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cluster.Config{
+		Net:            s.m.env.Net,
+		Costs:          s.m.env.Costs,
+		SerializeSends: s.m.serialize,
+	}
+	n := s.iterations()
+	results, mean, err := cluster.SimulateIterations(sum, cfg, n)
+	if err != nil {
+		return nil, err
+	}
+
+	r0 := results[0]
+	res := &Result{
+		Kind:         KindSimulate,
+		Deck:         d.Name,
+		Cells:        d.Mesh.NumCells(),
+		PEs:          s.sc.pe,
+		Network:      s.m.NetworkName(),
+		TotalSeconds: mean,
+		Partition: &PartitionReport{
+			Algorithm:    s.sc.partitioner,
+			EdgeCut:      sum.EdgeCut(),
+			Imbalance:    sum.Imbalance(),
+			MaxNeighbors: sum.MaxNeighbors(),
+		},
+	}
+	times := make([]float64, 0, len(results))
+	for _, r := range results {
+		times = append(times, r.IterationTime)
+	}
+	res.Iterations = &IterationStats{
+		Count:             n,
+		MeanSeconds:       mean,
+		MinSeconds:        stats.Min(times),
+		MaxSeconds:        stats.Max(times),
+		CollectiveSeconds: r0.CollectiveTime,
+	}
+	for ph := range r0.PhaseTimes {
+		maxComp := stats.Max(r0.ComputeTimes[ph])
+		res.Phases = append(res.Phases, PhaseBreakdown{
+			Phase:   ph + 1,
+			Compute: maxComp,
+			Comm:    r0.CommTimes[ph],
+			Total:   r0.PhaseTimes[ph],
+		})
+		res.ComputeSeconds += maxComp
+		res.CommSeconds += r0.CommTimes[ph]
+	}
+	return res, nil
+}
+
+// RunHydro executes the Lagrangian hydrodynamics mini-app for the
+// scenario's steps on its rank count and returns a KindHydro result with
+// physics diagnostics and the per-phase wall-clock profile.
+func (s *Session) RunHydro() (*Result, error) {
+	d, err := s.deck()
+	if err != nil {
+		return nil, err
+	}
+	var diag hydro.Diagnostics
+	var timers hydro.PhaseSeconds
+	if s.sc.ranks <= 1 {
+		st, err := hydro.NewState(d, hydro.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < s.sc.steps; i++ {
+			if err := hydro.Step(st, hydro.Serial{}, &timers); err != nil {
+				return nil, err
+			}
+			if s.sc.progressFn != nil && (i+1)%s.sc.progressEvery == 0 {
+				dg := st.Diag()
+				s.sc.progressFn(HydroTick{
+					Cycle:          dg.Cycle,
+					Time:           dg.Time,
+					DT:             st.DT,
+					BurnedCells:    dg.BurnedCells,
+					MaxPressure:    dg.MaxPressure,
+					KineticEnergy:  dg.KineticEnergy,
+					InternalEnergy: dg.InternalEnergy,
+				})
+			}
+		}
+		diag = st.Diag()
+	} else {
+		g := partition.FromMesh(d.Mesh)
+		part, err := partition.NewMultilevel(s.m.env.Seed).Partition(g, s.sc.ranks)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := hydro.RunParallel(d, part, s.sc.ranks, s.sc.steps, hydro.Options{})
+		if err != nil {
+			return nil, err
+		}
+		diag, timers = pr.Diag, pr.PhaseSeconds
+	}
+	return &Result{
+		Kind:  KindHydro,
+		Deck:  d.Name,
+		Cells: d.Mesh.NumCells(),
+		Hydro: &HydroReport{
+			Ranks:          s.sc.ranks,
+			Steps:          s.sc.steps,
+			Cycle:          diag.Cycle,
+			Time:           diag.Time,
+			TotalMass:      diag.TotalMass,
+			InternalEnergy: diag.InternalEnergy,
+			KineticEnergy:  diag.KineticEnergy,
+			EnergyReleased: diag.EnergyReleased,
+			BurnedCells:    diag.BurnedCells,
+			MaxPressure:    diag.MaxPressure,
+			MinVolume:      diag.MinVolume,
+			PhaseSeconds:   timers[:],
+		},
+	}, nil
+}
+
+// Partition partitions the scenario's deck with its partitioner and
+// returns a KindPartition result: quality metrics, the per-PE material
+// table, and (for small grids) the Figure 1 subgrid map.
+func (s *Session) Partition() (*Result, error) {
+	d, err := s.deck()
+	if err != nil {
+		return nil, err
+	}
+	pr, err := partitionerByName(s.sc.partitioner, s.m.env.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := partition.FromMesh(d.Mesh)
+	q, part, err := partition.Evaluate(pr, g, s.sc.pe)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := mesh.Summarize(d.Mesh, part, s.sc.pe)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &PartitionReport{
+		Algorithm:    q.Algorithm,
+		EdgeCut:      int(q.EdgeCut),
+		Imbalance:    q.Imbalance,
+		MaxNeighbors: sum.MaxNeighbors(),
+	}
+	for pe := 0; pe < s.sc.pe; pe++ {
+		ghosts := 0
+		for _, nb := range sum.NeighborsOf[pe] {
+			ghosts += sum.Boundary(pe, nb).GhostNodes
+		}
+		rep.PerPE = append(rep.PerPE, PEStat{
+			PE:         pe,
+			Cells:      sum.TotalCells[pe],
+			ByMaterial: sum.CellsByMaterial[pe],
+			Neighbors:  len(sum.NeighborsOf[pe]),
+			GhostNodes: ghosts,
+		})
+	}
+	if d.Mesh.W > 0 && d.Mesh.W <= 200 {
+		rep.Map = textplot.GridMap("Subgrid map (characters = PE ids):",
+			d.Mesh.W, d.Mesh.H, func(x, y int) int { return part[y*d.Mesh.W+x] })
+	}
+	return &Result{
+		Kind:      KindPartition,
+		Deck:      d.Name,
+		Cells:     d.Mesh.NumCells(),
+		PEs:       s.sc.pe,
+		Partition: rep,
+	}, nil
+}
+
+// Experiment regenerates one paper table or figure by registry id (see
+// ListExperiments) and returns a KindExperiment result.
+func (s *Session) Experiment(id string) (*Result, error) {
+	e, err := experiments.Find(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	}
+	r, err := e.Run(s.m.env)
+	if err != nil {
+		return nil, fmt.Errorf("krak: experiment %s: %w", id, err)
+	}
+	return &Result{
+		Kind: KindExperiment,
+		Experiment: &ExperimentReport{
+			ID:     r.ID,
+			Title:  r.Title,
+			Header: r.Header,
+			Rows:   r.Rows,
+			Text:   r.Text,
+			Notes:  r.Notes,
+		},
+	}, nil
+}
+
+// ExperimentInfo identifies one entry of the experiment registry.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// ListExperiments returns the experiment registry in paper order.
+func ListExperiments() []ExperimentInfo {
+	out := make([]ExperimentInfo, 0, len(experiments.Registry))
+	for _, e := range experiments.Registry {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package krak
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesAndCommandsBuild compiles every main under examples/ and
+// cmd/ so a façade change cannot silently break them. Each main is built
+// individually to pinpoint the offender.
+func TestExamplesAndCommandsBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping build smoke test in -short mode")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+
+	var pkgs []string
+	for _, parent := range []string{"examples", "cmd"} {
+		entries, err := os.ReadDir(parent)
+		if err != nil {
+			t.Fatalf("reading %s: %v", parent, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				pkgs = append(pkgs, "./"+filepath.Join(parent, e.Name()))
+			}
+		}
+	}
+	if len(pkgs) < 6 {
+		t.Fatalf("expected at least 6 mains (5 examples + krak CLI), found %d: %v", len(pkgs), pkgs)
+	}
+
+	for _, pkg := range pkgs {
+		cmd := exec.Command(gobin, "build", "-o", os.DevNull, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("go build %s failed: %v\n%s", pkg, err, out)
+		}
+	}
+}
