@@ -1,7 +1,9 @@
 // Repository benchmark harness: one benchmark per paper table and figure
 // (each regenerates the artifact through the experiments package in quick
-// mode), the ablation benches DESIGN.md calls out, and microbenchmarks of
-// the load-bearing kernels (partitioner, simulator, model, hydro step).
+// mode), the ablation benches docs/ARCHITECTURE.md calls out,
+// microbenchmarks of the load-bearing kernels (partitioner, simulator,
+// model, hydro step), and the serial-vs-parallel sweep pair that measures
+// the engine's speedup (BenchmarkSweepSerial / BenchmarkSweepParallel).
 //
 // Run with:
 //
@@ -9,10 +11,14 @@
 //
 // The experiment benches are regeneration harnesses, not microbenchmarks:
 // per-op times report how long regenerating the table/figure takes with
-// memoized decks/partitions warm after the first iteration.
+// memoized decks/partitions warm after the first iteration. The sweep
+// benches instead build a fresh machine (cold caches) every iteration, so
+// they measure the full concurrent execution path.
 package krak
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"krak/internal/cluster"
@@ -23,6 +29,7 @@ import (
 	"krak/internal/mesh"
 	"krak/internal/netmodel"
 	"krak/internal/partition"
+	api "krak/pkg/krak"
 )
 
 // benchExperiment runs one experiment repeatedly against a shared quick
@@ -34,9 +41,10 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	env := experiments.NewQuickEnv()
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Run(env); err != nil {
+		if _, err := exp.Run(ctx, env); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,13 +62,60 @@ func BenchmarkFigure3CostCurves(b *testing.B)      { benchExperiment(b, "figure3
 func BenchmarkFigure4Boundary(b *testing.B)        { benchExperiment(b, "figure4") }
 func BenchmarkFigure5Scaling(b *testing.B)         { benchExperiment(b, "figure5") }
 
-// Ablation benches (design choices called out in DESIGN.md).
+// Ablation benches (design choices called out in docs/ARCHITECTURE.md).
 
 func BenchmarkAblationPartitioner(b *testing.B) { benchExperiment(b, "ablation-partitioner") }
 func BenchmarkAblationOverlap(b *testing.B)     { benchExperiment(b, "ablation-overlap") }
 func BenchmarkAblationKnee(b *testing.B)        { benchExperiment(b, "ablation-knee") }
 func BenchmarkAblationCombine(b *testing.B)     { benchExperiment(b, "ablation-combine") }
 func BenchmarkAblationNetwork(b *testing.B)     { benchExperiment(b, "ablation-network") }
+
+// Sweep benches: the same (deck, PE-count) grid through Session.Sweep,
+// serial vs as wide as the hardware allows. Every iteration builds a
+// fresh machine so the grid points repartition and resimulate from cold
+// caches; the parallel bench's per-op time over the serial bench's is the
+// engine's realized speedup (≥2x expected on a 4-core runner, 1x on a
+// single-core machine).
+
+// benchSweep runs the simulate grid at the given worker-pool width.
+func benchSweep(b *testing.B, parallel int) {
+	b.Helper()
+	pes := []int{8, 16, 24, 32, 48, 64, 96, 128}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := api.NewMachine(api.WithQuick(), api.WithParallelism(parallel))
+		if err != nil {
+			b.Fatal(err)
+		}
+		grid := make([]*api.Scenario, 0, len(pes))
+		for _, pe := range pes {
+			sc, err := api.NewScenario(api.WithDeck("medium"), api.WithPE(pe))
+			if err != nil {
+				b.Fatal(err)
+			}
+			grid = append(grid, sc)
+		}
+		base, err := api.NewScenario()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := api.NewSession(m, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr, err := s.Sweep(ctx, api.SweepSimulate, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sr.Points) != len(pes) {
+			b.Fatalf("sweep returned %d points, want %d", len(sr.Points), len(pes))
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }
 
 // Microbenchmarks of the load-bearing kernels.
 

@@ -9,14 +9,23 @@
 //	krak simulate    -deck medium -pe 256 -iterations 5 [--json]
 //	krak hydro       -w 80 -h 40 -steps 200 -ranks 4 [--json]
 //	krak part        -deck small -pe 16 -algo rcb [--json]
-//	krak experiments -list | -run table6 | -write EXPERIMENTS.md [--json]
+//	krak sweep       -op predict -deck medium -pe 32,64,128,256 -parallel 8 [--json]
+//	krak experiments -list | -run table6 | -write EXPERIMENTS.md -parallel 8 [--json]
+//
+// sweep and experiments fan their work out over the machine's worker pool
+// (-parallel N, default as wide as the hardware). experiments output is
+// byte-identical at every parallelism level, as is the model/simulator
+// content of every sweep point; sweep's timing fields (the wall/work
+// summary and each point's seconds) naturally vary run to run.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"krak/pkg/krak"
@@ -37,6 +46,8 @@ func main() {
 		err = runHydro(os.Args[2:])
 	case "part":
 		err = runPart(os.Args[2:])
+	case "sweep":
+		err = runSweep(os.Args[2:])
 	case "experiments":
 		err = runExperiments(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -61,6 +72,7 @@ subcommands:
   simulate     run the discrete-event cluster simulator ("measure")
   hydro        run the Lagrangian hydrodynamics mini-app
   part         partition a deck and report quality
+  sweep        evaluate a deck x PE grid concurrently
   experiments  regenerate the paper's tables and figures
 
 Run "krak <subcommand> -h" for the subcommand's flags. All subcommands
@@ -75,13 +87,15 @@ type machineFlags struct {
 	seed      *uint64
 	quick     *bool
 	serialize *bool
+	parallel  *int
 }
 
 func addMachineFlags(fs *flag.FlagSet, withSerialize bool) *machineFlags {
 	mf := &machineFlags{
-		net:   fs.String("net", "qsnet", "interconnect: qsnet, gige, infiniband"),
-		seed:  fs.Uint64("seed", 1, "partitioner seed"),
-		quick: fs.Bool("quick", false, "scaled-down decks and calibrations"),
+		net:      fs.String("net", "qsnet", "interconnect: qsnet, gige, infiniband"),
+		seed:     fs.Uint64("seed", 1, "partitioner seed"),
+		quick:    fs.Bool("quick", false, "scaled-down decks and calibrations"),
+		parallel: fs.Int("parallel", 0, "worker-pool width (0 = number of CPUs)"),
 	}
 	if withSerialize {
 		mf.serialize = fs.Bool("serialize-sends", false, "disable message overlap")
@@ -100,7 +114,33 @@ func (mf *machineFlags) machine() (*krak.Machine, error) {
 	if mf.serialize != nil && *mf.serialize {
 		opts = append(opts, krak.WithSerializedSends())
 	}
+	if *mf.parallel < 0 {
+		return nil, fmt.Errorf("krak: -parallel must be >= 0 (0 = number of CPUs), got %d", *mf.parallel)
+	}
+	if *mf.parallel > 0 {
+		opts = append(opts, krak.WithParallelism(*mf.parallel))
+	}
 	return krak.NewMachine(opts...)
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("krak: bad -%s entry %q (want positive integers)", flagName, part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("krak: -%s is empty", flagName)
+	}
+	return out, nil
 }
 
 // emit prints a result as text or JSON.
@@ -252,6 +292,91 @@ func runPart(args []string) error {
 	return emit(res, *asJSON)
 }
 
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("krak sweep", flag.ExitOnError)
+	op := fs.String("op", "predict", "operation per grid point: predict, simulate")
+	decks := fs.String("deck", "medium", "comma-separated decks: small, medium, large, figure2")
+	pes := fs.String("pe", "32,64,128,256", "comma-separated processor counts")
+	modelName := fs.String("model", "general-homo", "model for predict points: general-homo, general-het, mesh-specific")
+	parter := fs.String("partitioner", "multilevel", "multilevel, rcb, sfc, strips, random")
+	iters := fs.Int("iterations", 0, "iterations per simulate point (0 = machine repeats)")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	mf := addMachineFlags(fs, true)
+	fs.Parse(args)
+
+	if *iters < 0 {
+		return fmt.Errorf("krak: -iterations must be >= 0 (0 = machine repeats), got %d", *iters)
+	}
+	sweepOp, err := krak.ParseSweepOp(*op)
+	if err != nil {
+		return err
+	}
+	model, err := krak.ParseModel(*modelName)
+	if err != nil {
+		return err
+	}
+	peList, err := parseIntList("pe", *pes)
+	if err != nil {
+		return err
+	}
+	m, err := mf.machine()
+	if err != nil {
+		return err
+	}
+
+	// The grid is the cross product of decks and PE counts, decks major,
+	// so output order matches the flag order.
+	var grid []*krak.Scenario
+	for _, deck := range strings.Split(*decks, ",") {
+		deck = strings.TrimSpace(deck)
+		if deck == "" {
+			continue
+		}
+		for _, pe := range peList {
+			opts := []krak.ScenarioOption{
+				krak.WithDeck(deck),
+				krak.WithPE(pe),
+				krak.WithModel(model),
+				krak.WithPartitioner(*parter),
+			}
+			if *iters > 0 {
+				opts = append(opts, krak.WithIterations(*iters))
+			}
+			sc, err := krak.NewScenario(opts...)
+			if err != nil {
+				return err
+			}
+			grid = append(grid, sc)
+		}
+	}
+	if len(grid) == 0 {
+		return fmt.Errorf("krak: empty sweep grid")
+	}
+
+	sc, err := krak.NewScenario()
+	if err != nil {
+		return err
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		return err
+	}
+	sr, err := s.Sweep(context.Background(), sweepOp, grid)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(sr, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Print(sr.Render())
+	return nil
+}
+
 func runExperiments(args []string) error {
 	fs := flag.NewFlagSet("krak experiments", flag.ExitOnError)
 	list := fs.Bool("list", false, "list available experiments")
@@ -292,20 +417,16 @@ func runExperiments(args []string) error {
 	var ids []string
 	if *run != "" {
 		ids = []string{*run}
-	} else {
-		for _, e := range krak.ListExperiments() {
-			ids = append(ids, e.ID)
-		}
 	}
 
-	var results []*krak.Result
-	for _, id := range ids {
-		res, err := s.Experiment(id)
-		if err != nil {
-			return err
-		}
-		results = append(results, res)
-		if !*asJSON {
+	// nil ids regenerates the whole registry; the batch fans out over the
+	// machine's worker pool (-parallel) with byte-identical output.
+	results, err := s.Experiments(context.Background(), ids)
+	if err != nil {
+		return err
+	}
+	if !*asJSON {
+		for _, res := range results {
 			fmt.Print(res.Render())
 			fmt.Println()
 		}
@@ -337,7 +458,7 @@ func experimentsMarkdown(results []*krak.Result, quick bool) string {
 	}
 	md.WriteString("`. The \"measured\" platform is the discrete-event cluster\n")
 	md.WriteString("simulator standing in for the paper's AlphaServer ES45 / QsNet-I machine\n")
-	md.WriteString("(see DESIGN.md for the substitution table); predictions come from the\n")
+	md.WriteString("(see docs/MODEL.md for the substitution table); predictions come from the\n")
 	md.WriteString("analytic model. Match the *shapes*, not absolute numbers.\n\n")
 	for _, res := range results {
 		e := res.Experiment

@@ -4,21 +4,28 @@
 //
 // The public API lives in pkg/krak: Machine describes the platform
 // (QsNetCluster is the paper's AlphaServer ES45 / QsNet-I validation
-// machine), Scenario describes the workload via functional options
-// (WithDeck, WithPE, WithModel, ...), and Session answers questions —
-// Predict (analytic model), Simulate (discrete-event "measured" platform),
-// RunHydro (the Lagrangian mini-app), Partition (partition quality), and
-// Experiment (regenerate a paper table or figure) — all returning a
-// unified Result with Render and MarshalJSON output. The cmd/krak CLI
-// exposes the same five operations as subcommands.
+// machine, WithParallelism bounds its worker pool), Scenario describes the
+// workload via functional options (WithDeck, WithPE, WithModel, ...), and
+// Session answers questions — Predict (analytic model), Simulate
+// (discrete-event "measured" platform), RunHydro (the Lagrangian
+// mini-app), Partition (partition quality), Experiment/Experiments
+// (regenerate paper tables and figures, serially or as a concurrent
+// batch), and Sweep (evaluate a whole grid of scenarios concurrently) —
+// all returning unified Result/SweepResult values with Render and
+// MarshalJSON output. The cmd/krak CLI exposes the same operations as
+// subcommands (predict, simulate, hydro, part, sweep, experiments).
 //
 // Everything under internal/ — the analytic model (internal/core), the
 // hydro mini-app (internal/hydro), the METIS-style partitioner
 // (internal/partition), the QsNet-like network model (internal/netmodel),
-// and the cluster simulator (internal/cluster) — is unstable
-// implementation detail; depend only on pkg/krak.
+// the cluster simulator (internal/cluster), and the concurrent execution
+// substrate (internal/engine: worker pools and single-flight artifact
+// caches) — is unstable implementation detail; depend only on pkg/krak.
+// docs/ARCHITECTURE.md maps every package and the data flow between them;
+// docs/MODEL.md maps the paper's equations to the code.
 //
 // The root package carries the repository-level benchmark harness
-// (bench_test.go): one benchmark per paper table and figure plus the
-// ablation benches described in DESIGN.md.
+// (bench_test.go): one benchmark per paper table and figure, the ablation
+// benches, and the serial-vs-parallel sweep pair (BenchmarkSweepSerial /
+// BenchmarkSweepParallel) that measures the engine's speedup.
 package krak

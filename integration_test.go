@@ -3,6 +3,7 @@
 package krak
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -188,7 +189,7 @@ func TestExperimentRegistryRunsQuick(t *testing.T) {
 	}
 	env := experiments.NewQuickEnv()
 	for _, e := range experiments.Registry {
-		res, err := e.Run(env)
+		res, err := e.Run(context.Background(), env)
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}

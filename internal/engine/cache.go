@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache is a generic single-flight memoization map: the first Get for a
+// key runs compute exactly once while concurrent Gets for the same key
+// block until it finishes, and every caller — then and later — receives
+// the same value and error. Distinct keys compute concurrently; nothing
+// holds the map lock while computing.
+//
+// The zero value is ready to use, so a Cache can sit directly inside a
+// struct literal (the experiment env's ablation sub-environments rely on
+// this). A Cache must not be copied after first use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Get returns the cached value for key, computing and storing it with
+// compute on the first call. Errors are cached too: a failed computation
+// is not retried, mirroring the repo's previous memoization behavior. If
+// compute panics, the panic propagates to this caller and the entry is
+// poisoned with an error — later Gets for the key receive that error
+// rather than a zero value masquerading as success.
+func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("engine: cache compute for key %v panicked: %v", key, r)
+				panic(r)
+			}
+		}()
+		e.val, e.err = compute()
+	})
+	return e.val, e.err
+}
+
+// Len reports how many keys have been requested (including in-flight and
+// failed computations).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolWorkers(t *testing.T) {
+	if got := New(4).Workers(); got != 4 {
+		t.Errorf("New(4).Workers() = %d, want 4", got)
+	}
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Serial().Workers(); got != 1 {
+		t.Errorf("Serial().Workers() = %d, want 1", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", got)
+	}
+}
+
+// TestMapOrdering checks that results come back in submission order even
+// when later indices finish first.
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		n := 50
+		got, err := Map(context.Background(), p, n, func(_ context.Context, i int) (int, error) {
+			// Sleep longer for earlier indices so completion order is
+			// roughly the reverse of submission order.
+			time.Sleep(time.Duration(n-i) * 20 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapNilPoolSerial checks the nil pool runs inline and stops at the
+// first error like a plain loop.
+func TestMapNilPoolSerial(t *testing.T) {
+	ran := 0
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), nil, 10, func(_ context.Context, i int) (int, error) {
+		ran++
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial map ran %d jobs after failure at index 3, want 4", ran)
+	}
+}
+
+// TestMapFirstErrorWins checks the reported error is the failing job with
+// the lowest index, not whichever failure happened to land first.
+func TestMapFirstErrorWins(t *testing.T) {
+	p := New(8)
+	errAt := func(i int) error { return fmt.Errorf("job %d failed", i) }
+	var release sync.WaitGroup
+	release.Add(1)
+	_, err := Map(context.Background(), p, 16, func(_ context.Context, i int) (int, error) {
+		switch i {
+		case 2:
+			// Fail late so index 5 fails first in wall-clock order.
+			release.Wait()
+			return 0, errAt(2)
+		case 5:
+			defer release.Done()
+			return 0, errAt(5)
+		default:
+			return i, nil
+		}
+	})
+	if err == nil || err.Error() != "job 2 failed" {
+		t.Fatalf("err = %v, want job 2 failed", err)
+	}
+}
+
+// TestMapCancellationStopsWork checks that cancelling the parent context
+// stops unstarted jobs and surfaces the context error.
+func TestMapCancellationStopsWork(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	_, err := Map(ctx, p, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("all %d jobs started despite cancellation", n)
+	}
+}
+
+// TestMapErrorCancelsInFlight checks fail-fast: after one job fails, the
+// context handed to running jobs is cancelled and pending jobs are
+// skipped.
+func TestMapErrorCancelsInFlight(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	var started atomic.Int32
+	_, err := Map(context.Background(), p, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		// Wait for the cancellation the failure must trigger.
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return 0, errors.New("cancellation never arrived")
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("all %d jobs started despite failure", n)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), New(4), 0, func(context.Context, int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(n=0) = %v, %v; want empty, nil", got, err)
+	}
+}
+
+// TestMapNestedBounded checks the pool bound is global: outer jobs that
+// themselves fan out rows on the same pool never push the number of
+// concurrently executing leaf jobs past Workers().
+func TestMapNestedBounded(t *testing.T) {
+	const width = 4
+	p := New(width)
+	var inFlight, peak atomic.Int32
+	leaf := func() {
+		v := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			cur := peak.Load()
+			if v <= cur || peak.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, err := Map(context.Background(), p, 6, func(ctx context.Context, i int) (int, error) {
+		rows, err := Map(ctx, p, 6, func(_ context.Context, j int) (int, error) {
+			leaf()
+			return i*10 + j, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return rows[0], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > width {
+		t.Fatalf("peak leaf concurrency %d exceeds pool width %d", got, width)
+	}
+}
+
+// TestCachePanicPoisonsEntry checks a panicking compute propagates the
+// panic and leaves the entry erroring, never a zero value with nil error.
+func TestCachePanicPoisonsEntry(t *testing.T) {
+	var c Cache[string, *int]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		_, _ = c.Get("k", func() (*int, error) { panic("boom") })
+	}()
+	v, err := c.Get("k", func() (*int, error) {
+		t.Fatal("compute retried after panic")
+		return nil, nil
+	})
+	if err == nil || v != nil {
+		t.Fatalf("poisoned Get = %v, %v; want nil, error", v, err)
+	}
+}
+
+// TestCacheSingleFlight checks that concurrent Gets for one key run the
+// compute function exactly once and all observe its value.
+func TestCacheSingleFlight(t *testing.T) {
+	var c Cache[string, int]
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	const goroutines = 32
+	vals := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.Get("deck/medium", func() (int, error) {
+				computes.Add(1)
+				time.Sleep(2 * time.Millisecond) // widen the race window
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[g] = v
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for g, v := range vals {
+		if v != 42 {
+			t.Fatalf("goroutine %d saw %d, want 42", g, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheDistinctKeysConcurrent checks that different keys do not
+// serialize behind one another.
+func TestCacheDistinctKeysConcurrent(t *testing.T) {
+	var c Cache[int, int]
+	const keys = 16
+	gate := make(chan struct{})
+	var inFlight atomic.Int32
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = c.Get(k, func() (int, error) {
+				// Every key's compute blocks until all computes have
+				// started; this deadlocks if the cache holds its lock
+				// while computing.
+				if inFlight.Add(1) == keys {
+					close(gate)
+				}
+				<-gate
+				return k, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if c.Len() != keys {
+		t.Fatalf("Len() = %d, want %d", c.Len(), keys)
+	}
+}
+
+// TestCacheCachesErrors checks a failed compute is not retried.
+func TestCacheCachesErrors(t *testing.T) {
+	var c Cache[string, int]
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Get("k", func() (int, error) {
+			calls++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("Get #%d err = %v, want boom", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+// TestCacheZeroValue checks a zero-value cache inside a struct literal
+// works, as the ablation sub-environments require.
+func TestCacheZeroValue(t *testing.T) {
+	type holder struct {
+		c Cache[string, string]
+	}
+	h := &holder{}
+	v, err := h.c.Get("x", func() (string, error) { return "y", nil })
+	if err != nil || v != "y" {
+		t.Fatalf("Get = %q, %v; want y, nil", v, err)
+	}
+}

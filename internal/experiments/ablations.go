@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"krak/internal/cluster"
 	"krak/internal/core"
+	"krak/internal/engine"
 	"krak/internal/mesh"
 	"krak/internal/netmodel"
 	"krak/internal/partition"
@@ -27,7 +29,7 @@ func ablationDeck(env *Env) (*mesh.Deck, int, error) {
 // the "quantitatively evaluating ... alterations to the application, such
 // as the data-partitioning algorithms" use case from the paper's
 // introduction.
-func AblationPartitioner(env *Env) (*Result, error) {
+func AblationPartitioner(ctx context.Context, env *Env) (*Result, error) {
 	d, p, err := ablationDeck(env)
 	if err != nil {
 		return nil, err
@@ -45,7 +47,10 @@ func AblationPartitioner(env *Env) (*Result, error) {
 		partition.Strips{},
 		partition.Random{Seed: env.Seed},
 	}
-	for _, pr := range parters {
+	// Each partitioner's partition+measure run is one engine job; they
+	// share the graph read-only.
+	rows, err := engine.Map(ctx, env.pool(), len(parters), func(_ context.Context, i int) ([]string, error) {
+		pr := parters[i]
 		part, err := pr.Partition(g, p)
 		if err != nil {
 			return nil, err
@@ -58,21 +63,25 @@ func AblationPartitioner(env *Env) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			pr.Name(),
 			fmt.Sprintf("%d", sum.EdgeCut()),
 			fmt.Sprintf("%.3f", sum.Imbalance()),
 			fmt.Sprintf("%d", sum.MaxNeighbors()),
 			fmt.Sprintf("%.1f", meas*1e3),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.Notes = "The multilevel (METIS-style) partitioner minimizes edge cut and iteration time; random partitioning explodes boundary traffic."
 	return res, nil
 }
 
 // AblationOverlap quantifies how much the application's asynchronous-send
 // overlap buys — the effect Equation (5) deliberately ignores.
-func AblationOverlap(env *Env) (*Result, error) {
+func AblationOverlap(_ context.Context, env *Env) (*Result, error) {
 	d, p, err := ablationDeck(env)
 	if err != nil {
 		return nil, err
@@ -108,7 +117,7 @@ func AblationOverlap(env *Env) (*Result, error) {
 // AblationKnee removes the per-phase fixed overheads from the ground truth
 // and shows the small-deck mesh-specific errors collapse — evidence that
 // the Table 5 failures are a knee phenomenon.
-func AblationKnee(env *Env) (*Result, error) {
+func AblationKnee(_ context.Context, env *Env) (*Result, error) {
 	d, err := env.Deck(mesh.Small)
 	if err != nil {
 		return nil, err
@@ -168,7 +177,7 @@ func AblationKnee(env *Env) (*Result, error) {
 
 // AblationCombine toggles the §4.1 combining of identical materials in the
 // mesh-specific model's Equation (5).
-func AblationCombine(env *Env) (*Result, error) {
+func AblationCombine(_ context.Context, env *Env) (*Result, error) {
 	d, p, err := ablationDeck(env)
 	if err != nil {
 		return nil, err
@@ -216,7 +225,7 @@ func AblationCombine(env *Env) (*Result, error) {
 // SensitivityStudy reports how the modeled iteration time responds to
 // halved latency, doubled bandwidth, and a 2x CPU across scales — the
 // quantitative procurement analysis the paper's introduction motivates.
-func SensitivityStudy(env *Env) (*Result, error) {
+func SensitivityStudy(_ context.Context, env *Env) (*Result, error) {
 	d, err := env.Deck(mesh.Medium)
 	if err != nil {
 		return nil, err
@@ -255,7 +264,7 @@ func SensitivityStudy(env *Env) (*Result, error) {
 
 // AblationNetwork re-runs the Table 6 medium/512 point on three
 // interconnects — the procurement what-if from the paper's introduction.
-func AblationNetwork(env *Env) (*Result, error) {
+func AblationNetwork(ctx context.Context, env *Env) (*Result, error) {
 	d, err := env.Deck(mesh.Medium)
 	if err != nil {
 		return nil, err
@@ -269,7 +278,12 @@ func AblationNetwork(env *Env) (*Result, error) {
 		Title:  fmt.Sprintf("Interconnect what-if (%s deck, %d PEs)", d.Name, p),
 		Header: []string{"Network", "Measured (ms)", "Homo model (ms)", "Error"},
 	}
-	for _, net := range []*netmodel.Model{netmodel.GigE(), netmodel.QsNetI(), netmodel.Infiniband()} {
+	nets := []*netmodel.Model{netmodel.GigE(), netmodel.QsNetI(), netmodel.Infiniband()}
+	// Each interconnect evaluates in its own sub-environment (its caches
+	// cannot be shared — the measured times differ per network), so the
+	// three what-ifs are natural engine jobs.
+	rows, err := engine.Map(ctx, env.pool(), len(nets), func(_ context.Context, i int) ([]string, error) {
+		net := nets[i]
 		sub := &Env{Net: net, Costs: env.Costs, Seed: env.Seed, Repeats: env.Repeats, Quick: env.Quick}
 		sum, err := sub.Partition(d, p)
 		if err != nil {
@@ -287,13 +301,17 @@ func AblationNetwork(env *Env) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			net.Name(),
 			fmt.Sprintf("%.1f", meas*1e3),
 			fmt.Sprintf("%.1f", pred.Total*1e3),
 			fmt.Sprintf("%.1f%%", relErrPct(meas, pred.Total)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.Notes = "The model tracks the measured platform across interconnects, supporting the procurement use case that motivates analytic models."
 	return res, nil
 }

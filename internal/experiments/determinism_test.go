@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"krak/internal/engine"
+)
+
+// TestParallelOutputByteIdentical is the determinism regression test for
+// the concurrent engine: regenerating every table and figure with 8
+// workers (the `krak experiments --parallel 8` path) must produce output
+// byte-identical to the serial path for every artifact ID. Both runs use
+// fresh environments so neither can coast on the other's caches.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full registry sweeps")
+	}
+	ctx := context.Background()
+
+	serialEnv := NewQuickEnv() // Pool nil: rows evaluate serially too
+	serial, err := RunAll(ctx, serialEnv, nil, engine.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parEnv := NewQuickEnv()
+	parEnv.Pool = engine.New(8)
+	parallel, err := RunAll(ctx, parEnv, nil, engine.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(parallel) || len(serial) != len(Registry) {
+		t.Fatalf("result counts: serial %d, parallel %d, registry %d",
+			len(serial), len(parallel), len(Registry))
+	}
+	for i, e := range Registry {
+		s, p := serial[i], parallel[i]
+		if s.ID != e.ID || p.ID != e.ID {
+			t.Fatalf("ordering broken at %d: serial %s, parallel %s, want %s", i, s.ID, p.ID, e.ID)
+		}
+		if sr, pr := s.Render(), p.Render(); sr != pr {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				e.ID, sr, pr)
+		}
+	}
+}
+
+// TestRunAllUnknownID checks RunAll rejects unknown ids before running
+// anything.
+func TestRunAllUnknownID(t *testing.T) {
+	_, err := RunAll(context.Background(), NewQuickEnv(), []string{"table1", "nope"}, engine.Serial())
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestRunAllSubsetOrder checks results come back in ids order, not
+// completion order.
+func TestRunAllSubsetOrder(t *testing.T) {
+	ids := []string{"table4", "table1", "table3"}
+	rs, err := RunAll(context.Background(), NewQuickEnv(), ids, engine.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if rs[i].ID != id {
+			t.Fatalf("result %d = %s, want %s", i, rs[i].ID, id)
+		}
+	}
+}
+
+// TestRunAllCancelled checks a pre-cancelled context aborts the batch.
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx, NewQuickEnv(), []string{"table1"}, engine.Serial()); err == nil {
+		t.Fatal("cancelled context did not abort")
+	}
+}

@@ -1,18 +1,24 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation: Table 1 (phase structure) through Table 6 (general-model
-// validation) and Figures 1 through 5, plus the ablation studies DESIGN.md
-// calls out. Each experiment pairs the cluster simulator's "measured" times
-// with the analytic model's predictions, exactly as the paper pairs its
-// ES45 measurements with its model.
+// validation) and Figures 1 through 5, plus the ablation studies
+// docs/ARCHITECTURE.md calls out. Each experiment pairs the cluster
+// simulator's "measured" times with the analytic model's predictions,
+// exactly as the paper pairs its ES45 measurements with its model.
+//
+// Experiments run either one at a time (Experiment.Run) or as a batch on a
+// worker pool (RunAll); either way the expensive shared artifacts — decks,
+// partitions, calibrations — are memoized in the Env through single-flight
+// caches, so concurrent experiments share setup instead of recomputing it
+// and parallel output stays byte-identical to serial output.
 package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"krak/internal/cluster"
 	"krak/internal/compute"
 	"krak/internal/core"
+	"krak/internal/engine"
 	"krak/internal/mesh"
 	"krak/internal/netmodel"
 	"krak/internal/partition"
@@ -20,7 +26,11 @@ import (
 )
 
 // Env carries the machine configuration and memoizes the expensive
-// artifacts (decks, partitions, calibrations) that experiments share.
+// artifacts (decks, partitions, calibrations) that experiments share. The
+// caches are single-flight: when parallel jobs request the same artifact,
+// one computes it and the rest wait, so an Env is safe to share across any
+// number of concurrent experiment runs. An Env must not be copied after
+// first use.
 type Env struct {
 	// Net is the interconnect model (default QsNet-I).
 	Net *netmodel.Model
@@ -41,11 +51,16 @@ type Env struct {
 	// paper-faithful configuration leaves it false.
 	Quick bool
 
-	mu         sync.Mutex
-	decks      map[string]*mesh.Deck
-	summaries  map[string]*mesh.PartitionSummary
-	contrived  *compute.Calibrated
-	contrivedE error
+	// Pool bounds the row-level parallelism inside sweep-shaped
+	// experiments (Table 5, Table 6, Figure 5); nil evaluates rows
+	// serially. RunAll additionally parallelizes across experiments with
+	// its own pool argument.
+	Pool *engine.Pool
+
+	decks     engine.Cache[string, *mesh.Deck]
+	summaries engine.Cache[string, *mesh.PartitionSummary]
+	contrived engine.Cache[struct{}, *compute.Calibrated]
+	deckCals  engine.Cache[string, *compute.Calibrated]
 }
 
 // NewEnv returns a paper-faithful environment.
@@ -73,6 +88,14 @@ func (e *Env) repeats() int {
 	return e.Repeats
 }
 
+// pool returns the row-level worker pool, serial when unset.
+func (e *Env) pool() *engine.Pool {
+	if e.Pool != nil {
+		return e.Pool
+	}
+	return engine.Serial()
+}
+
 // clusterConfig builds the simulator configuration.
 func (e *Env) clusterConfig() cluster.Config {
 	return cluster.Config{Net: e.Net, Costs: e.Costs}
@@ -80,60 +103,37 @@ func (e *Env) clusterConfig() cluster.Config {
 
 // Deck returns (and caches) a standard deck, shrunk in Quick mode.
 func (e *Env) Deck(s mesh.StandardSize) (*mesh.Deck, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	key := s.String()
-	if e.decks == nil {
-		e.decks = map[string]*mesh.Deck{}
-	}
-	if d, ok := e.decks[key]; ok {
-		return d, nil
-	}
-	var d *mesh.Deck
-	var err error
-	if e.Quick {
-		w, h := s.Dims()
-		for w*h > 51200 { // cap quick decks at 51,200 cells
-			w /= 2
-			h /= 2
-		}
-		d, err = mesh.BuildLayeredDeck(w, h)
-		if err == nil {
+	return e.decks.Get(s.String(), func() (*mesh.Deck, error) {
+		if e.Quick {
+			w, h := s.Dims()
+			for w*h > 51200 { // cap quick decks at 51,200 cells
+				w /= 2
+				h /= 2
+			}
+			d, err := mesh.BuildLayeredDeck(w, h)
+			if err != nil {
+				return nil, err
+			}
 			d.Name = s.String() + "-quick"
+			return d, nil
 		}
-	} else {
-		d, err = mesh.BuildStandardDeck(s)
-	}
-	if err != nil {
-		return nil, err
-	}
-	e.decks[key] = d
-	return d, nil
+		return mesh.BuildStandardDeck(s)
+	})
 }
 
 // Partition returns (and caches) the multilevel partition summary of a deck
-// at p processors.
+// at p processors. Distinct (deck, p) keys partition concurrently;
+// duplicate requests wait for the one in flight.
 func (e *Env) Partition(d *mesh.Deck, p int) (*mesh.PartitionSummary, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	key := fmt.Sprintf("%s/%d", d.Name, p)
-	if e.summaries == nil {
-		e.summaries = map[string]*mesh.PartitionSummary{}
-	}
-	if s, ok := e.summaries[key]; ok {
-		return s, nil
-	}
-	g := partition.FromMesh(d.Mesh)
-	part, err := partition.NewMultilevel(e.Seed).Partition(g, p)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: partitioning %s to %d PEs: %w", d.Name, p, err)
-	}
-	sum, err := mesh.Summarize(d.Mesh, part, p)
-	if err != nil {
-		return nil, err
-	}
-	e.summaries[key] = sum
-	return sum, nil
+	return e.summaries.Get(key, func() (*mesh.PartitionSummary, error) {
+		g := partition.FromMesh(d.Mesh)
+		part, err := partition.NewMultilevel(e.Seed).Partition(g, p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: partitioning %s to %d PEs: %w", d.Name, p, err)
+		}
+		return mesh.Summarize(d.Mesh, part, p)
+	})
 }
 
 // PartitionVector computes the raw cell-to-PE assignment (not cached; used
@@ -185,31 +185,33 @@ func (e *Env) Profiler() core.ProfileFunc {
 // ContrivedCalibration returns (and caches) the §3.1 contrived-grid
 // calibration backed by the simulator.
 func (e *Env) ContrivedCalibration() (*compute.Calibrated, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.contrived != nil || e.contrivedE != nil {
-		return e.contrived, e.contrivedE
-	}
-	cal := &core.Calibrator{Profile: e.Profiler()}
-	sizes := core.DefaultContrivedSizes()
-	if e.Quick {
-		sizes = sizes[:14] // up to 8,192 cells per PE
-	}
-	e.contrived, e.contrivedE = cal.Contrived(sizes)
-	return e.contrived, e.contrivedE
+	return e.contrived.Get(struct{}{}, func() (*compute.Calibrated, error) {
+		cal := &core.Calibrator{Profile: e.Profiler()}
+		sizes := core.DefaultContrivedSizes()
+		if e.Quick {
+			sizes = sizes[:14] // up to 8,192 cells per PE
+		}
+		return cal.Contrived(sizes)
+	})
 }
 
-// DeckCalibration runs the §3.1 least-squares calibration over campaigns of
-// the given deck at the given processor counts.
+// DeckCalibration returns (and caches) the §3.1 least-squares calibration
+// over campaigns of the given deck at the given processor counts.
 func (e *Env) DeckCalibration(d *mesh.Deck, calPs []int) (*compute.Calibrated, error) {
-	var samples []core.DeckSample
+	key := d.Name
 	for _, p := range calPs {
-		sum, err := e.Partition(d, p)
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, core.DeckSample{Summary: sum})
+		key += fmt.Sprintf("/%d", p)
 	}
-	cal := &core.Calibrator{Profile: e.Profiler()}
-	return cal.FromDeck(samples)
+	return e.deckCals.Get(key, func() (*compute.Calibrated, error) {
+		var samples []core.DeckSample
+		for _, p := range calPs {
+			sum, err := e.Partition(d, p)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, core.DeckSample{Summary: sum})
+		}
+		cal := &core.Calibrator{Profile: e.Profiler()}
+		return cal.FromDeck(samples)
+	})
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"krak/internal/engine"
 	"krak/internal/mesh"
 	"krak/internal/phases"
 	"krak/internal/stats"
@@ -49,11 +51,13 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Experiment couples an ID to its runner.
+// Experiment couples an ID to its runner. Runners observe ctx for
+// cancellation of their internal row sweeps and may run rows on the Env's
+// worker pool; their output is identical at every parallelism level.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(*Env) (*Result, error)
+	Run   func(ctx context.Context, env *Env) (*Result, error)
 }
 
 // Registry lists every experiment in paper order.
@@ -87,8 +91,36 @@ func Find(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
+// RunAll regenerates the experiments with the given ids (nil means the
+// whole registry in paper order) as jobs on the pool, sharing env's
+// artifact caches, and returns the results in ids order. The output of
+// every experiment is byte-identical whatever the pool width; the error,
+// if any, is the first failing experiment in ids order.
+func RunAll(ctx context.Context, env *Env, ids []string, pool *engine.Pool) ([]*Result, error) {
+	if ids == nil {
+		for _, e := range Registry {
+			ids = append(ids, e.ID)
+		}
+	}
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, err := Find(id)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = e
+	}
+	return engine.Map(ctx, pool, len(exps), func(ctx context.Context, i int) (*Result, error) {
+		r, err := exps[i].Run(ctx, env)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", exps[i].ID, err)
+		}
+		return r, nil
+	})
+}
+
 // Table1 reproduces the phase table.
-func Table1(env *Env) (*Result, error) {
+func Table1(_ context.Context, env *Env) (*Result, error) {
 	res := &Result{
 		ID:     "table1",
 		Title:  "Summary of Krak activities by phase (paper Table 1)",
@@ -104,7 +136,7 @@ func Table1(env *Env) (*Result, error) {
 }
 
 // Table2 measures the deck's material ratios against the paper's.
-func Table2(env *Env) (*Result, error) {
+func Table2(_ context.Context, env *Env) (*Result, error) {
 	d, err := env.Deck(mesh.Medium)
 	if err != nil {
 		return nil, err
@@ -129,7 +161,7 @@ func Table2(env *Env) (*Result, error) {
 }
 
 // Table3 reproduces the boundary-exchange example message sizes.
-func Table3(env *Env) (*Result, error) {
+func Table3(_ context.Context, env *Env) (*Result, error) {
 	b := CanonicalFigure4Boundary()
 	msgs := phases.BoundaryExchangeMessages(b)
 	// Group messages by (step, size).
@@ -177,7 +209,7 @@ func Table3(env *Env) (*Result, error) {
 }
 
 // Table4 reproduces the collective schedule.
-func Table4(env *Env) (*Result, error) {
+func Table4(_ context.Context, env *Env) (*Result, error) {
 	tot := phases.Table4()
 	res := &Result{
 		ID:     "table4",
@@ -224,7 +256,7 @@ func validationRow(label string, p int, meas, pred float64, paperErr string) []s
 // Table5 validates the mesh-specific model, calibrated with the §3.1
 // least-squares method on each deck, as the paper did ("This second method
 // is used for the validation results presented below").
-func Table5(env *Env) (*Result, error) {
+func Table5(ctx context.Context, env *Env) (*Result, error) {
 	res := &Result{
 		ID:     "table5",
 		Title:  "Validation results for mesh-specific model (paper Table 5)",
@@ -249,7 +281,11 @@ func Table5(env *Env) (*Result, error) {
 		cases[1].predPs = []int{16, 64, 128}
 	}
 	net := env.Net
-	for _, c := range cases {
+	// Each deck's calibration campaign is one engine job, and each
+	// validation point within it is another; rows come back in paper
+	// order regardless of pool width.
+	rowsByCase, err := engine.Map(ctx, env.pool(), len(cases), func(ctx context.Context, ci int) ([][]string, error) {
+		c := cases[ci]
 		d, err := env.Deck(c.size)
 		if err != nil {
 			return nil, err
@@ -259,7 +295,8 @@ func Table5(env *Env) (*Result, error) {
 			return nil, err
 		}
 		model := newMeshSpecific(cal, net)
-		for i, p := range c.predPs {
+		return engine.Map(ctx, env.pool(), len(c.predPs), func(_ context.Context, i int) ([]string, error) {
+			p := c.predPs[i]
 			sum, err := env.Partition(d, p)
 			if err != nil {
 				return nil, err
@@ -272,8 +309,14 @@ func Table5(env *Env) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.Rows = append(res.Rows, validationRow(c.size.String(), p, meas, pred.Total, c.paperErr[i]))
-		}
+			return validationRow(c.size.String(), p, meas, pred.Total, c.paperErr[i]), nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsByCase {
+		res.Rows = append(res.Rows, rows...)
 	}
 	res.Notes = "Shape match: small-deck errors oscillate wildly (knee regime, as in the paper); medium-deck errors stay within ~10%. Absolute errors differ because the measured platform is a simulator."
 	return res, nil
@@ -281,7 +324,7 @@ func Table5(env *Env) (*Result, error) {
 
 // Table6 validates the general model (homogeneous), calibrated with
 // contrived grids.
-func Table6(env *Env) (*Result, error) {
+func Table6(ctx context.Context, env *Env) (*Result, error) {
 	cal, err := env.ContrivedCalibration()
 	if err != nil {
 		return nil, err
@@ -300,28 +343,44 @@ func Table6(env *Env) (*Result, error) {
 		{mesh.Large, []int{128, 256, 512}, []string{"-4.3%", "-4.6%", "-1.0%"}},
 	}
 	model := newGeneralHomo(cal, env.Net)
+	// Flatten the (deck, PE-count) grid into one engine job per
+	// validation point; every point partitions, measures, and predicts
+	// independently against the shared caches.
+	type point struct {
+		size     mesh.StandardSize
+		p        int
+		paperErr string
+	}
+	var pts []point
 	for _, c := range cases {
-		d, err := env.Deck(c.size)
+		for i, p := range c.predPs {
+			pts = append(pts, point{c.size, p, c.paperErr[i]})
+		}
+	}
+	rows, err := engine.Map(ctx, env.pool(), len(pts), func(_ context.Context, i int) ([]string, error) {
+		pt := pts[i]
+		d, err := env.Deck(pt.size)
 		if err != nil {
 			return nil, err
 		}
-		cells := d.Mesh.NumCells()
-		for i, p := range c.predPs {
-			sum, err := env.Partition(d, p)
-			if err != nil {
-				return nil, err
-			}
-			meas, err := env.Measure(sum)
-			if err != nil {
-				return nil, err
-			}
-			pred, err := model.Predict(cells, p)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, validationRow(c.size.String(), p, meas, pred.Total, c.paperErr[i]))
+		sum, err := env.Partition(d, pt.p)
+		if err != nil {
+			return nil, err
 		}
+		meas, err := env.Measure(sum)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.Predict(d.Mesh.NumCells(), pt.p)
+		if err != nil {
+			return nil, err
+		}
+		return validationRow(pt.size.String(), pt.p, meas, pred.Total, pt.paperErr), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.Notes = "The homogeneous general model validates within a few percent and is best at scale, matching the paper's headline 512-PE accuracy of ~3%."
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	r, err := Table1(env(t))
+	r, err := Table1(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable2RatiosClose(t *testing.T) {
-	r, err := Table2(env(t))
+	r, err := Table2(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestTable2RatiosClose(t *testing.T) {
 }
 
 func TestTable3ExactSizes(t *testing.T) {
-	r, err := Table3(env(t))
+	r, err := Table3(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestTable3ExactSizes(t *testing.T) {
 }
 
 func TestTable4ExactCounts(t *testing.T) {
-	r, err := Table4(env(t))
+	r, err := Table4(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestTable6GeneralModelAccuracy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavyweight validation")
 	}
-	r, err := Table6(env(t))
+	r, err := Table6(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestTable6GeneralModelAccuracy(t *testing.T) {
 }
 
 func TestFigure1Partitioning(t *testing.T) {
-	r, err := Figure1(env(t))
+	r, err := Figure1(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestFigure1Partitioning(t *testing.T) {
 }
 
 func TestFigure3KneeVisible(t *testing.T) {
-	r, err := Figure3(env(t))
+	r, err := Figure3(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestFigure3KneeVisible(t *testing.T) {
 }
 
 func TestFigure4Invariants(t *testing.T) {
-	r, err := Figure4(env(t))
+	r, err := Figure4(context.Background(), env(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"krak/internal/compute"
 	"krak/internal/core"
+	"krak/internal/engine"
 	"krak/internal/mesh"
 	"krak/internal/netmodel"
 	"krak/internal/phases"
@@ -47,7 +49,7 @@ func CanonicalFigure4Boundary() *mesh.PairBoundary {
 
 // Figure1 partitions the small deck on 16 processors and renders the
 // subgrid map with the material-layer boundaries.
-func Figure1(env *Env) (*Result, error) {
+func Figure1(_ context.Context, env *Env) (*Result, error) {
 	d, err := env.Deck(mesh.Small)
 	if err != nil {
 		return nil, err
@@ -96,7 +98,7 @@ func Figure1(env *Env) (*Result, error) {
 // Figure2 simulates the 65,536-cell deck on 256 processors and reports each
 // phase's computation time for one representative single-material processor
 // per material ("No MPI", as the paper's figure).
-func Figure2(env *Env) (*Result, error) {
+func Figure2(_ context.Context, env *Env) (*Result, error) {
 	d, err := env.Deck(mesh.Figure2)
 	if err != nil {
 		return nil, err
@@ -172,7 +174,7 @@ func Figure2(env *Env) (*Result, error) {
 
 // Figure3 tabulates per-cell computation cost versus cells-per-processor
 // for phases 1, 2, and 7 — ground truth and the contrived calibration.
-func Figure3(env *Env) (*Result, error) {
+func Figure3(_ context.Context, env *Env) (*Result, error) {
 	cal, err := env.ContrivedCalibration()
 	if err != nil {
 		return nil, err
@@ -217,7 +219,7 @@ func Figure3(env *Env) (*Result, error) {
 
 // Figure4 renders the canonical four-material boundary and its message
 // tally (the geometry behind Table 3).
-func Figure4(env *Env) (*Result, error) {
+func Figure4(_ context.Context, env *Env) (*Result, error) {
 	b := CanonicalFigure4Boundary()
 	var art = `
       Processor PA | Processor PB
@@ -247,7 +249,7 @@ func Figure4(env *Env) (*Result, error) {
 
 // Figure5 sweeps processor counts for the medium and large decks and plots
 // measured vs general-homogeneous vs general-heterogeneous iteration time.
-func Figure5(env *Env) (*Result, error) {
+func Figure5(ctx context.Context, env *Env) (*Result, error) {
 	cal, err := env.ContrivedCalibration()
 	if err != nil {
 		return nil, err
@@ -265,6 +267,13 @@ func Figure5(env *Env) (*Result, error) {
 	}
 	homo := core.NewGeneral(cal, env.Net, core.Homogeneous)
 	het := core.NewGeneral(cal, env.Net, core.Heterogeneous)
+	// Each (deck, PE-count) sweep point is one engine job; the rows and
+	// chart series are assembled afterwards in sweep order so the figure
+	// is identical at every pool width.
+	type point struct {
+		meas, homoT, hetT float64
+		skip              bool
+	}
 	var text string
 	for _, sz := range sizes {
 		d, err := env.Deck(sz)
@@ -272,45 +281,56 @@ func Figure5(env *Env) (*Result, error) {
 			return nil, err
 		}
 		cells := d.Mesh.NumCells()
+		pts, err := engine.Map(ctx, env.pool(), len(ps), func(_ context.Context, i int) (point, error) {
+			p := ps[i]
+			if p > cells {
+				return point{skip: true}, nil
+			}
+			sum, err := env.Partition(d, p)
+			if err != nil {
+				return point{}, err
+			}
+			meas, err := env.Measure(sum)
+			if err != nil {
+				return point{}, err
+			}
+			ph, err := homo.Predict(cells, p)
+			if err != nil {
+				return point{}, err
+			}
+			pe, err := het.Predict(cells, p)
+			if err != nil {
+				return point{}, err
+			}
+			return point{meas: meas, homoT: ph.Total, hetT: pe.Total}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		var chart textplot.Chart
 		chart.Title = fmt.Sprintf("%s problem: iteration time (s) vs processor count", sz)
 		chart.LogX, chart.LogY = true, true
 		chart.XLabel = "processors"
 		var mx, my, hx, hy, ex, ey []float64
-		for _, p := range ps {
-			if p > cells {
+		for i, pt := range pts {
+			if pt.skip {
 				continue
 			}
-			sum, err := env.Partition(d, p)
-			if err != nil {
-				return nil, err
-			}
-			meas, err := env.Measure(sum)
-			if err != nil {
-				return nil, err
-			}
-			ph, err := homo.Predict(cells, p)
-			if err != nil {
-				return nil, err
-			}
-			pe, err := het.Predict(cells, p)
-			if err != nil {
-				return nil, err
-			}
+			p := ps[i]
 			res.Rows = append(res.Rows, []string{
 				sz.String(), fmt.Sprintf("%d", p),
-				fmt.Sprintf("%.1f", meas*1e3),
-				fmt.Sprintf("%.1f", ph.Total*1e3),
-				fmt.Sprintf("%.1f", pe.Total*1e3),
-				fmt.Sprintf("%.1f%%", relErrPct(meas, ph.Total)),
-				fmt.Sprintf("%.1f%%", relErrPct(meas, pe.Total)),
+				fmt.Sprintf("%.1f", pt.meas*1e3),
+				fmt.Sprintf("%.1f", pt.homoT*1e3),
+				fmt.Sprintf("%.1f", pt.hetT*1e3),
+				fmt.Sprintf("%.1f%%", relErrPct(pt.meas, pt.homoT)),
+				fmt.Sprintf("%.1f%%", relErrPct(pt.meas, pt.hetT)),
 			})
 			mx = append(mx, float64(p))
-			my = append(my, meas)
+			my = append(my, pt.meas)
 			hx = append(hx, float64(p))
-			hy = append(hy, ph.Total)
+			hy = append(hy, pt.homoT)
 			ex = append(ex, float64(p))
-			ey = append(ey, pe.Total)
+			ey = append(ey, pt.hetT)
 		}
 		chart.AddSeries(textplot.Series{Name: "Measured", Marker: 'm', Xs: mx, Ys: my})
 		chart.AddSeries(textplot.Series{Name: "Homogeneous", Marker: 'o', Xs: hx, Ys: hy})

@@ -16,7 +16,7 @@
 // mpisim rank per subgrid.
 //
 // Simplifications relative to the production code (documented in
-// DESIGN.md): slip lines are not implemented (material interfaces remain
+// docs/MODEL.md): slip lines are not implemented (material interfaces remain
 // conforming), hourglass control is a simple viscous damping rather than
 // Flanagan-Belytschko, and the cylindrical rotation is treated as planar
 // 2-D. None of these affect the performance structure the model captures.

@@ -11,7 +11,10 @@ import (
 var Table2Heterogeneous = [NumMaterials]float64{0.391, 0.172, 0.203, 0.234}
 
 // Deck is an input problem: a mesh with materials assigned, plus the
-// metadata the hydro code needs (detonator placement).
+// metadata the hydro code needs (detonator placement). A built Deck is
+// immutable apart from the mesh's internal lazily-built indices, which are
+// themselves synchronized, so one cached Deck may be read by any number of
+// concurrent engine jobs.
 type Deck struct {
 	Name string
 	Mesh *Mesh

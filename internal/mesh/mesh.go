@@ -14,6 +14,7 @@ package mesh
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Material identifies one of the four materials in the paper's input deck.
@@ -115,7 +116,9 @@ type Mesh struct {
 	Faces     []Face
 	CellFaces [][4]int32
 
-	// nodeCells is the node -> incident cells map, built lazily.
+	// nodeCells is the node -> incident cells map, built lazily under
+	// nodeOnce so concurrent readers of a shared (cached) mesh are safe.
+	nodeOnce  sync.Once
 	nodeCells [][]int32
 }
 
@@ -169,19 +172,20 @@ func (m *Mesh) Neighbors(c int) []int32 {
 }
 
 // NodeCells returns the cells incident to each node, building the incidence
-// table on first use. The returned slices must not be modified.
+// table on first use. The returned slices must not be modified. NodeCells is
+// safe to call from concurrent goroutines sharing one mesh — the engine's
+// deck cache hands the same *Mesh to parallel jobs.
 func (m *Mesh) NodeCells() [][]int32 {
-	if m.nodeCells != nil {
-		return m.nodeCells
-	}
-	nc := make([][]int32, m.NumNodes())
-	for c, nodes := range m.CellNodes {
-		for _, n := range nodes {
-			nc[n] = append(nc[n], int32(c))
+	m.nodeOnce.Do(func() {
+		nc := make([][]int32, m.NumNodes())
+		for c, nodes := range m.CellNodes {
+			for _, n := range nodes {
+				nc[n] = append(nc[n], int32(c))
+			}
 		}
-	}
-	m.nodeCells = nc
-	return nc
+		m.nodeCells = nc
+	})
+	return m.nodeCells
 }
 
 // MaterialCounts returns the number of cells of each material.

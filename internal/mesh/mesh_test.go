@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -93,6 +94,31 @@ func TestNodeCellsIncidence(t *testing.T) {
 	// Cached on second call.
 	if &nc[0] == nil || m.NodeCells() == nil {
 		t.Fatal("NodeCells cache broken")
+	}
+}
+
+// TestNodeCellsConcurrent exercises the lazy incidence build from many
+// goroutines at once; run under -race it proves a shared cached mesh is
+// safe for parallel engine jobs.
+func TestNodeCellsConcurrent(t *testing.T) {
+	m := mustStructured(t, 16, 16)
+	var wg sync.WaitGroup
+	results := make([][][]int32, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = m.NodeCells()
+		}(g)
+	}
+	wg.Wait()
+	for g, nc := range results {
+		if len(nc) != m.NumNodes() {
+			t.Fatalf("goroutine %d: %d node entries, want %d", g, len(nc), m.NumNodes())
+		}
+		if &nc[0] != &results[0][0] {
+			t.Fatalf("goroutine %d saw a different incidence table", g)
+		}
 	}
 }
 

@@ -80,7 +80,10 @@ func (b *PairBoundary) Remote(pe int) int {
 }
 
 // PartitionSummary aggregates everything the performance model and the
-// cluster simulator need to know about a partitioned deck.
+// cluster simulator need to know about a partitioned deck. Summarize
+// populates every field eagerly and nothing mutates a summary afterwards,
+// so one cached summary may be read by any number of concurrent engine
+// jobs.
 type PartitionSummary struct {
 	P int // number of processors
 

@@ -168,6 +168,10 @@ func Imbalance(g *Graph, part []int, k int) float64 {
 }
 
 // Partitioner divides a graph into k balanced parts.
+// Implementations must be safe for concurrent use: Partition derives any
+// randomness per call from the configured seed and keeps no mutable state
+// on the receiver, so one Partitioner (and one *Graph, which Partition
+// never mutates) can serve parallel engine jobs.
 type Partitioner interface {
 	// Name identifies the algorithm for reports.
 	Name() string

@@ -1,15 +1,20 @@
 // Package krak is the public façade of the Krak performance-model
 // reproduction — the only supported entry point into the library. It wraps
 // the analytic model, the discrete-event cluster simulator, the
-// hydrodynamics mini-app, and the experiment registry behind three
-// concepts:
+// hydrodynamics mini-app, the experiment registry, and the concurrent
+// sweep engine behind three concepts:
 //
 //   - A Machine describes the platform: the interconnect (QsNet-I by
 //     default, the paper's validation network), the ground-truth
-//     computation cost tables, the partitioner seed, and how many
-//     iterations are averaged per measurement. QsNetCluster returns the
-//     paper's AlphaServer ES45 / QsNet-I cluster; GigECluster and
-//     InfinibandCluster are the what-if presets.
+//     computation cost tables, the partitioner seed, how many iterations
+//     are averaged per measurement, and how many concurrent jobs its
+//     worker pool runs (WithParallelism; as wide as the hardware by
+//     default). QsNetCluster returns the paper's AlphaServer ES45 /
+//     QsNet-I cluster; GigECluster and InfinibandCluster are the what-if
+//     presets. A Machine memoizes decks, partitions, and calibrations in
+//     single-flight caches, so concurrent work shares artifacts instead
+//     of recomputing them — reuse one Machine whenever the platform is
+//     the same.
 //
 //   - A Scenario describes the workload: which input deck, how many
 //     processors, which model variant, which partitioner, built with
@@ -19,9 +24,11 @@
 //   - A Session binds the two and answers questions: Predict evaluates the
 //     analytic model, Simulate runs the cluster simulator ("measures"),
 //     RunHydro executes the actual mini-app, Partition reports partition
-//     quality, and Experiment regenerates a paper table or figure.
+//     quality, Experiment regenerates a paper table or figure, and
+//     Experiments regenerates a batch of them concurrently on the
+//     machine's pool.
 //
-// Every Session method returns a unified *Result carrying typed per-phase
+// Session methods return a unified *Result carrying typed per-phase
 // breakdowns, partition or hydro diagnostics, and both human-readable
 // (Render) and machine-readable (MarshalJSON) output.
 //
@@ -36,6 +43,22 @@
 //	if err != nil { ... }
 //	fmt.Print(res.Render())
 //
+// # Sweeps
+//
+// The paper's evaluation is sweep-shaped — every table and figure walks a
+// grid of (deck, processor-count) points — and Session.Sweep is the
+// batch-evaluation path for that shape: it evaluates a grid of Scenarios
+// concurrently on the machine's worker pool and returns a SweepResult
+// with every point's Result in grid order plus aggregate timing
+// (WallSeconds vs WorkSeconds, whose ratio is the realized speedup).
+// Points share the machine's memoized artifacts through single-flight
+// caches, so each deck, partition, and calibration is built exactly once
+// per machine no matter how wide the pool is, and every point's output is
+// byte-identical to a standalone serial run — parallelism changes only
+// the wall clock. See ExampleSession_Sweep for a runnable grid
+// evaluation.
+//
 // Everything under internal/ is unstable implementation detail; new code
-// should depend only on this package.
+// should depend only on this package. docs/ARCHITECTURE.md maps the
+// internal packages; docs/MODEL.md maps the paper's model terms to them.
 package krak

@@ -1,0 +1,60 @@
+package krak_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"krak/pkg/krak"
+)
+
+// ExampleSession_Sweep evaluates the analytic model across a grid of
+// processor counts concurrently, with the grid points sharing the
+// machine's memoized decks and calibrations.
+func ExampleSession_Sweep() {
+	m, err := krak.NewMachine(krak.WithQuick(), krak.WithParallelism(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := krak.NewScenario(krak.WithDeck("small"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := krak.NewSession(m, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var grid []*krak.Scenario
+	for _, pe := range []int{8, 16, 32} {
+		sc, err := krak.NewScenario(krak.WithDeck("small"), krak.WithPE(pe))
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid = append(grid, sc)
+	}
+
+	sr, err := s.Sweep(context.Background(), krak.SweepPredict, grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range sr.Points {
+		fmt.Printf("point %d: deck %s on %d PEs (%s model)\n", pt.Index, pt.Deck, pt.PEs, pt.Model)
+	}
+	// Output:
+	// point 0: deck small on 8 PEs (general-homo model)
+	// point 1: deck small on 16 PEs (general-homo model)
+	// point 2: deck small on 32 PEs (general-homo model)
+}
+
+// ExampleWithParallelism pins the worker-pool width a machine uses for
+// Sweep and Experiments; 1 forces fully serial execution.
+func ExampleWithParallelism() {
+	m, err := krak.NewMachine(krak.WithQuick(), krak.WithParallelism(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Parallelism())
+	// Output:
+	// 2
+}

@@ -2,9 +2,9 @@ package krak
 
 import (
 	"fmt"
-	"sync"
 
 	"krak/internal/compute"
+	"krak/internal/engine"
 	"krak/internal/experiments"
 	"krak/internal/mesh"
 	"krak/internal/netmodel"
@@ -12,19 +12,19 @@ import (
 
 // Machine describes the platform predictions and simulations run against:
 // the interconnect, the ground-truth computation cost tables, the
-// partitioner seed, and the measurement repeat count. A Machine memoizes
-// the expensive shared artifacts (decks, partitions, calibrations), so
-// reuse one Machine across Sessions whenever the platform is the same.
+// partitioner seed, the measurement repeat count, and how many concurrent
+// jobs its worker pool runs (WithParallelism). A Machine memoizes the
+// expensive shared artifacts (decks, partitions, calibrations) in
+// single-flight caches that concurrent Sessions and Sweeps share safely,
+// so reuse one Machine across Sessions whenever the platform is the same.
 type Machine struct {
 	interconnect string
 	serialize    bool
 	quick        bool
 	repeatsSet   bool
 
-	env *experiments.Env
-
-	mu       sync.Mutex
-	deckCals map[string]*compute.Calibrated
+	env  *experiments.Env
+	pool *engine.Pool
 }
 
 // MachineOption configures NewMachine.
@@ -86,6 +86,21 @@ func WithQuick() MachineOption {
 	}
 }
 
+// WithParallelism bounds the machine's worker pool to n concurrent jobs.
+// The pool drives Session.Sweep, Session.Experiments, and the row sweeps
+// inside individual experiments; results are byte-identical at every n.
+// The default (without this option) is runtime.GOMAXPROCS, i.e. as wide as
+// the hardware allows; n = 1 forces fully serial execution.
+func WithParallelism(n int) MachineOption {
+	return func(m *Machine) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: parallelism %d", ErrBadOption, n)
+		}
+		m.pool = engine.New(n)
+		return nil
+	}
+}
+
 func interconnectByName(name string) (*netmodel.Model, error) {
 	switch name {
 	case "qsnet":
@@ -104,7 +119,6 @@ func NewMachine(opts ...MachineOption) (*Machine, error) {
 	m := &Machine{
 		interconnect: "qsnet",
 		env:          experiments.NewEnv(),
-		deckCals:     map[string]*compute.Calibrated{},
 	}
 	for _, opt := range opts {
 		if err := opt(m); err != nil {
@@ -114,6 +128,10 @@ func NewMachine(opts ...MachineOption) (*Machine, error) {
 	if m.quick && !m.repeatsSet {
 		m.env.Repeats = 2
 	}
+	if m.pool == nil {
+		m.pool = engine.New(0) // GOMAXPROCS
+	}
+	m.env.Pool = m.pool
 	return m, nil
 }
 
@@ -157,25 +175,12 @@ func (m *Machine) Repeats() int {
 // Quick reports whether the machine is in scaled-down mode.
 func (m *Machine) Quick() bool { return m.quick }
 
-// deckCalibration memoizes the §3.1 least-squares deck calibration per
-// (deck, campaign) pair.
+// Parallelism returns the worker-pool width Sweep and Experiments use.
+func (m *Machine) Parallelism() int { return m.pool.Workers() }
+
+// deckCalibration resolves the §3.1 least-squares deck calibration,
+// memoized per (deck, campaign) pair in the environment's single-flight
+// cache.
 func (m *Machine) deckCalibration(d *mesh.Deck, calPEs []int) (*compute.Calibrated, error) {
-	key := d.Name
-	for _, p := range calPEs {
-		key += fmt.Sprintf("/%d", p)
-	}
-	m.mu.Lock()
-	cal, ok := m.deckCals[key]
-	m.mu.Unlock()
-	if ok {
-		return cal, nil
-	}
-	cal, err := m.env.DeckCalibration(d, calPEs)
-	if err != nil {
-		return nil, err
-	}
-	m.mu.Lock()
-	m.deckCals[key] = cal
-	m.mu.Unlock()
-	return cal, nil
+	return m.env.DeckCalibration(d, calPEs)
 }

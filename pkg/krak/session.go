@@ -1,6 +1,7 @@
 package krak
 
 import (
+	"context"
 	"fmt"
 
 	"krak/internal/cluster"
@@ -313,17 +314,9 @@ func (s *Session) Partition() (*Result, error) {
 	}, nil
 }
 
-// Experiment regenerates one paper table or figure by registry id (see
-// ListExperiments) and returns a KindExperiment result.
-func (s *Session) Experiment(id string) (*Result, error) {
-	e, err := experiments.Find(id)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
-	}
-	r, err := e.Run(s.m.env)
-	if err != nil {
-		return nil, fmt.Errorf("krak: experiment %s: %w", id, err)
-	}
+// experimentResult wraps an internal experiment result as a KindExperiment
+// Result.
+func experimentResult(r *experiments.Result) *Result {
 	return &Result{
 		Kind: KindExperiment,
 		Experiment: &ExperimentReport{
@@ -334,7 +327,44 @@ func (s *Session) Experiment(id string) (*Result, error) {
 			Text:   r.Text,
 			Notes:  r.Notes,
 		},
-	}, nil
+	}
+}
+
+// Experiment regenerates one paper table or figure by registry id (see
+// ListExperiments) and returns a KindExperiment result.
+func (s *Session) Experiment(id string) (*Result, error) {
+	e, err := experiments.Find(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	}
+	r, err := e.Run(context.Background(), s.m.env)
+	if err != nil {
+		return nil, fmt.Errorf("krak: experiment %s: %w", id, err)
+	}
+	return experimentResult(r), nil
+}
+
+// Experiments regenerates the paper tables and figures with the given ids
+// (nil means every registry entry, in paper order) as concurrent jobs on
+// the machine's worker pool, sharing the machine's artifact caches. The
+// results come back in ids order and each one is byte-identical to what a
+// serial Experiment call produces — parallelism changes only the wall
+// clock. The first failing id (in ids order) aborts the batch.
+func (s *Session) Experiments(ctx context.Context, ids []string) ([]*Result, error) {
+	for _, id := range ids {
+		if _, err := experiments.Find(id); err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+		}
+	}
+	rs, err := experiments.RunAll(ctx, s.m.env, ids, s.m.pool)
+	if err != nil {
+		return nil, fmt.Errorf("krak: %w", err)
+	}
+	out := make([]*Result, len(rs))
+	for i, r := range rs {
+		out[i] = experimentResult(r)
+	}
+	return out, nil
 }
 
 // ExperimentInfo identifies one entry of the experiment registry.

@@ -1,0 +1,212 @@
+package krak
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sweepGrid builds a small PE-count grid over the small deck.
+func sweepGrid(t *testing.T, pes ...int) []*Scenario {
+	t.Helper()
+	var grid []*Scenario
+	for _, pe := range pes {
+		sc, err := NewScenario(WithDeck("small"), WithPE(pe))
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid = append(grid, sc)
+	}
+	return grid
+}
+
+func TestSweepPredictGrid(t *testing.T) {
+	m, err := NewMachine(WithQuick(), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Parallelism() != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", m.Parallelism())
+	}
+	base, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pes := []int{4, 8, 16, 32}
+	sr, err := s.Sweep(context.Background(), SweepPredict, sweepGrid(t, pes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != len(pes) {
+		t.Fatalf("points = %d, want %d", len(sr.Points), len(pes))
+	}
+	for i, pt := range sr.Points {
+		if pt.Index != i || pt.PEs != pes[i] || pt.Deck != "small" {
+			t.Fatalf("point %d = {Index:%d Deck:%s PEs:%d}, want in-order small/%d",
+				i, pt.Index, pt.Deck, pt.PEs, pes[i])
+		}
+		if pt.Model != "general-homo" {
+			t.Fatalf("point %d model = %q", i, pt.Model)
+		}
+		if pt.Result == nil || pt.Result.Kind != KindPredict || pt.Result.TotalSeconds <= 0 {
+			t.Fatalf("point %d result = %+v", i, pt.Result)
+		}
+	}
+	if sr.WallSeconds <= 0 || sr.WorkSeconds <= 0 {
+		t.Fatalf("timing not recorded: wall %v work %v", sr.WallSeconds, sr.WorkSeconds)
+	}
+	out := sr.Render()
+	for _, want := range []string{"Sweep predict over 4 points", "general-homo", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepMatchesStandaloneSessions checks every sweep point's Result is
+// identical to what a dedicated Session produces — the concurrency must
+// not change a single byte of rendered output.
+func TestSweepMatchesStandaloneSessions(t *testing.T) {
+	m, err := NewMachine(WithQuick(), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := sweepGrid(t, 4, 8, 16)
+	sr, err := s.Sweep(context.Background(), SweepSimulate, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh machine (fresh caches) evaluating each point serially.
+	m2, err := NewMachine(WithQuick(), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range grid {
+		solo, err := NewSession(m2, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := solo.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, exp := sr.Points[i].Result.Render(), want.Render(); got != exp {
+			t.Errorf("point %d output differs from standalone session:\n--- sweep ---\n%s\n--- standalone ---\n%s",
+				i, got, exp)
+		}
+	}
+}
+
+func TestSweepEmptyGridUsesSessionScenario(t *testing.T) {
+	m, err := NewMachine(WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScenario(WithDeck("small"), WithPE(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := s.Sweep(context.Background(), SweepPredict, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != 1 || sr.Points[0].PEs != 8 || sr.Points[0].Deck != "small" {
+		t.Fatalf("points = %+v", sr.Points)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	m, err := NewMachine(WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sweep(context.Background(), SweepOp("evaporate"), nil); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("bad op error = %v", err)
+	}
+	if _, err := s.Sweep(context.Background(), SweepPredict, []*Scenario{nil}); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("nil scenario error = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Sweep(ctx, SweepPredict, sweepGrid(t, 4, 8)); err == nil {
+		t.Fatal("cancelled context did not abort sweep")
+	}
+}
+
+func TestParseSweepOp(t *testing.T) {
+	for s, want := range map[string]SweepOp{"predict": SweepPredict, "simulate": SweepSimulate} {
+		got, err := ParseSweepOp(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSweepOp(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSweepOp("hydro"); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("ParseSweepOp(hydro) err = %v", err)
+	}
+}
+
+func TestWithParallelismValidation(t *testing.T) {
+	if _, err := NewMachine(WithParallelism(0)); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("WithParallelism(0) err = %v", err)
+	}
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Parallelism() < 1 {
+		t.Fatalf("default parallelism = %d", m.Parallelism())
+	}
+}
+
+func TestSessionExperimentsBatch(t *testing.T) {
+	m, err := NewMachine(WithQuick(), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"table3", "table1", "figure4"}
+	rs, err := s.Experiments(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if rs[i].Kind != KindExperiment || rs[i].Experiment == nil || rs[i].Experiment.ID != id {
+			t.Fatalf("result %d = %+v, want experiment %s", i, rs[i], id)
+		}
+	}
+	if _, err := s.Experiments(context.Background(), []string{"nope"}); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("unknown experiment id error = %v, want ErrUnknownExperiment", err)
+	}
+}
