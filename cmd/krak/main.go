@@ -7,16 +7,27 @@
 //
 //	krak predict     -deck medium -pe 128 -model general-homo [--json]
 //	krak simulate    -deck medium -pe 256 -iterations 5 [--json]
-//	krak hydro       -w 80 -h 40 -steps 200 -ranks 4 [--json]
-//	krak part        -deck small -pe 16 -algo rcb [--json]
+//	krak hydro       -w 80 -h 40 -steps 200 -ranks 4 [-deck-file deck.txt] [--json]
+//	krak part        -deck small -pe 16 -algo rcb [-deck-file deck.txt] [--json]
 //	krak sweep       -op predict -deck medium -pe 32,64,128,256 -parallel 8 [--json]
 //	krak experiments -list | -run table6 | -write EXPERIMENTS.md -parallel 8 [--json]
+//	krak serve       -addr :8080 -parallel 8 -cache-size 1024 [-quick]
 //
 // sweep and experiments fan their work out over the machine's worker pool
 // (-parallel N, default as wide as the hardware). experiments output is
 // byte-identical at every parallelism level, as is the model/simulator
 // content of every sweep point; sweep's timing fields (the wall/work
 // summary and each point's seconds) naturally vary run to run.
+//
+// serve runs the same operations as a long-lived batched HTTP service
+// (see internal/server); its /v1/predict responses are byte-identical to
+// `krak predict --json` for the same scenario.
+//
+// -deck-file loads a textual deck instead of a standard one. The format
+// is line-oriented ('#' comments): "deck NAME", "grid W H", optional
+// "detonator X Y", then one of "layered" (Table 2 radial bands),
+// "uniform MAT", or "cells" followed by H rows of W one-character
+// material codes (h|a|f|o or 0-3), top row first.
 package main
 
 import (
@@ -50,6 +61,8 @@ func main() {
 		err = runSweep(os.Args[2:])
 	case "experiments":
 		err = runExperiments(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -74,6 +87,7 @@ subcommands:
   part         partition a deck and report quality
   sweep        evaluate a deck x PE grid concurrently
   experiments  regenerate the paper's tables and figures
+  serve        run the batched HTTP prediction service
 
 Run "krak <subcommand> -h" for the subcommand's flags. All subcommands
 accept --json for machine-readable output.
@@ -227,6 +241,7 @@ func runHydro(args []string) error {
 	fs := flag.NewFlagSet("krak hydro", flag.ExitOnError)
 	w := fs.Int("w", 40, "grid width (cells)")
 	h := fs.Int("h", 20, "grid height (cells)")
+	deckFile := fs.String("deck-file", "", "textual deck file (grid/layered/uniform/cells directives; overrides -w/-h)")
 	steps := fs.Int("steps", 100, "timesteps to run")
 	ranks := fs.Int("ranks", 1, "parallel goroutine ranks (1 = serial)")
 	report := fs.Int("report", 20, "diagnostics interval in steps, 0 to disable (serial only)")
@@ -234,8 +249,16 @@ func runHydro(args []string) error {
 	fs.Parse(args)
 
 	m := krak.QsNetCluster()
+	deckOpt := krak.WithDeckDims(*w, *h)
+	if *deckFile != "" {
+		src, err := os.ReadFile(*deckFile)
+		if err != nil {
+			return err
+		}
+		deckOpt = krak.WithDeckSpec(src)
+	}
 	opts := []krak.ScenarioOption{
-		krak.WithDeckDims(*w, *h),
+		deckOpt,
 		krak.WithSteps(*steps),
 		krak.WithRanks(*ranks),
 	}
@@ -263,6 +286,7 @@ func runHydro(args []string) error {
 func runPart(args []string) error {
 	fs := flag.NewFlagSet("krak part", flag.ExitOnError)
 	deck := fs.String("deck", "small", "deck: small, medium, large, figure2")
+	deckFile := fs.String("deck-file", "", "textual deck file (overrides -deck)")
 	pe := fs.Int("pe", 16, "processor count")
 	algo := fs.String("algo", "multilevel", "multilevel, rcb, sfc, strips, random")
 	showMap := fs.Bool("map", true, "render the subgrid map")
@@ -274,7 +298,15 @@ func runPart(args []string) error {
 	if err != nil {
 		return err
 	}
-	sc, err := krak.NewScenario(krak.WithDeck(*deck), krak.WithPE(*pe), krak.WithPartitioner(*algo))
+	deckOpt := krak.WithDeck(*deck)
+	if *deckFile != "" {
+		src, err := os.ReadFile(*deckFile)
+		if err != nil {
+			return err
+		}
+		deckOpt = krak.WithDeckSpec(src)
+	}
+	sc, err := krak.NewScenario(deckOpt, krak.WithPE(*pe), krak.WithPartitioner(*algo))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"krak/internal/server"
+)
+
+// runServe starts the long-running HTTP prediction service: the serving
+// subsystem of internal/server behind a net/http listener with graceful
+// shutdown on SIGINT/SIGTERM.
+//
+// Responses are byte-identical to the corresponding CLI --json output:
+// POST /v1/predict for a scenario returns exactly what
+// `krak predict --json` prints for the same flags (CI's smoke job diffs
+// the two on every push).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("krak serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	parallel := fs.Int("parallel", 0, "worker-pool width for dispatch and machines (0 = number of CPUs)")
+	cacheSize := fs.Int("cache-size", 1024, "rendered-response LRU capacity (entries)")
+	quick := fs.Bool("quick", false, "serve scaled-down decks and calibrations")
+	batchWindow := fs.Duration("batch-window", 500*time.Microsecond, "micro-batch collection window for /v1/predict")
+	fs.Parse(args)
+
+	if *parallel < 0 {
+		return fmt.Errorf("krak: -parallel must be >= 0 (0 = number of CPUs), got %d", *parallel)
+	}
+	if *cacheSize <= 0 {
+		return fmt.Errorf("krak: -cache-size must be positive, got %d", *cacheSize)
+	}
+	if *batchWindow < 0 {
+		return fmt.Errorf("krak: -batch-window must be >= 0, got %v", *batchWindow)
+	}
+
+	h := server.New(server.Config{
+		Parallel:    *parallel,
+		CacheSize:   *cacheSize,
+		Quick:       *quick,
+		BatchWindow: *batchWindow,
+	})
+	srv := &http.Server{Addr: *addr, Handler: h}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "krak serve listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "krak serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

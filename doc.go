@@ -13,7 +13,11 @@
 // batch), and Sweep (evaluate a whole grid of scenarios concurrently) —
 // all returning unified Result/SweepResult values with Render and
 // MarshalJSON output. The cmd/krak CLI exposes the same operations as
-// subcommands (predict, simulate, hydro, part, sweep, experiments).
+// subcommands (predict, simulate, hydro, part, sweep, experiments), and
+// `krak serve` runs them as a long-lived batched HTTP service
+// (internal/server) whose responses are byte-identical to the CLI's
+// --json output; pkg/krak also carries the service's wire types
+// (PredictRequest, SimulateRequest, SweepRequest, MachineSpec).
 //
 // Everything under internal/ — the analytic model (internal/core), the
 // hydro mini-app (internal/hydro), the METIS-style partitioner

@@ -1,0 +1,154 @@
+// Command loadtest is a small load generator for `krak serve`: it fires
+// concurrent /v1/predict requests built from the pkg/krak wire types,
+// decodes every response through Result.UnmarshalJSON (so a schema
+// drift fails loudly), and reports throughput and latency percentiles.
+// The first pass over a scenario set is cold (the server computes); the
+// following passes measure the serving layer's single-flight LRU.
+//
+// Usage:
+//
+//	krak serve -quick &
+//	go run ./examples/loadtest -addr http://localhost:8080 -n 2000 -c 16
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"krak/pkg/krak"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of krak serve")
+	n := flag.Int("n", 1000, "total requests")
+	c := flag.Int("c", 8, "concurrent workers")
+	deck := flag.String("deck", "small", "deck every request asks about")
+	pes := flag.String("pe", "4,8,16,32,64,128", "comma-separated PE counts to cycle through")
+	model := flag.String("model", "general-homo", "model variant")
+	flag.Parse()
+
+	var peList []int
+	for _, f := range strings.Split(*pes, ",") {
+		var pe int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &pe); err != nil || pe <= 0 {
+			log.Fatalf("bad -pe entry %q", f)
+		}
+		peList = append(peList, pe)
+	}
+
+	// Pre-encode one request body per grid point; workers cycle through
+	// them, so every point goes cold exactly once and warm thereafter.
+	bodies := make([][]byte, len(peList))
+	for i, pe := range peList {
+		req := krak.PredictRequest{Deck: *deck, PEs: pe, Model: *model}
+		b, err := json.Marshal(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	// Wait for the server to come up.
+	if err := waitHealthy(*addr); err != nil {
+		log.Fatalf("server not healthy: %v", err)
+	}
+
+	var (
+		next      atomic.Int64
+		failures  atomic.Int64
+		latencies = make([]time.Duration, *n)
+		client    = &http.Client{Timeout: 60 * time.Second}
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				t0 := time.Now()
+				if err := predict(client, *addr, bodies[i%len(bodies)]); err != nil {
+					failures.Add(1)
+					log.Printf("request %d: %v", i, err)
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("loadtest: %d requests, %d workers, %d failures\n", *n, *c, failures.Load())
+	fmt.Printf("  wall %.2fs  throughput %.0f req/s\n", wall.Seconds(), float64(*n)/wall.Seconds())
+	fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// predict POSTs one request and validates the response decodes as a
+// schema-stamped predict Result.
+func predict(client *http.Client, addr string, body []byte) error {
+	resp, err := client.Post(addr+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	var res krak.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return err // ErrSchema here means the server drifted
+	}
+	if res.Kind != krak.KindPredict || res.TotalSeconds <= 0 {
+		return fmt.Errorf("implausible result: kind=%s total=%g", res.Kind, res.TotalSeconds)
+	}
+	return nil
+}
+
+// waitHealthy polls /healthz until the server answers or the budget runs
+// out.
+func waitHealthy(addr string) error {
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return lastErr
+}

@@ -61,3 +61,12 @@ func (c *Cache[K, V]) Len() int {
 	defer c.mu.Unlock()
 	return len(c.m)
 }
+
+// Has reports whether key has been requested (including in-flight and
+// failed computations), without computing anything.
+func (c *Cache[K, V]) Has(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[key]
+	return ok
+}

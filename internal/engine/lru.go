@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// LRU is a size-bounded memoization cache with single-flight fills: the
+// serving-path counterpart to Cache. Where Cache remembers every key
+// forever (right for a bounded artifact space — decks, partitions,
+// calibrations), LRU holds at most Cap entries and evicts the least
+// recently used, which is what an open-ended request space needs.
+//
+// Do has Cache.Get's coalescing discipline — concurrent calls for the
+// same key share one computation — but the error policy differs: a
+// failed computation is not cached, so the next request for the key
+// retries. A server must not let one transient failure poison a key
+// forever.
+//
+// The zero value is not ready to use; build with NewLRU. An LRU must not
+// be copied after first use.
+type LRU[K comparable, V any] struct {
+	mu  sync.Mutex
+	cap int
+	m   map[K]*lruEntry[K, V]
+	ll  *list.List // front = most recently used; holds only filled entries
+}
+
+type lruEntry[K comparable, V any] struct {
+	key  K
+	done chan struct{} // closed when the fill completes
+	val  V
+	err  error
+	elem *list.Element // nil while the fill is in flight
+}
+
+// NewLRU returns an LRU holding at most capacity filled entries.
+// capacity <= 0 selects 1.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		cap: capacity,
+		m:   make(map[K]*lruEntry[K, V]),
+		ll:  list.New(),
+	}
+}
+
+// Cap reports the capacity the LRU was built with.
+func (l *LRU[K, V]) Cap() int { return l.cap }
+
+// Len reports how many filled entries the LRU currently holds (in-flight
+// fills are not counted).
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}
+
+// Get returns the cached value for key without computing anything,
+// marking the entry most recently used on a hit.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.m[key]; ok && e.elem != nil {
+		l.ll.MoveToFront(e.elem)
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the value for key, computing it with compute on a miss. A
+// concurrent Do for the same key waits for the in-flight computation and
+// shares its outcome instead of recomputing. Successful values enter the
+// cache (evicting the least recently used entry beyond Cap); errors are
+// returned to every waiter but not cached, so a later Do retries. If
+// compute panics, the panic propagates to the caller that ran it and the
+// waiters receive an error.
+func (l *LRU[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	l.mu.Lock()
+	if e, ok := l.m[key]; ok {
+		if e.elem != nil { // filled: a plain hit
+			l.ll.MoveToFront(e.elem)
+			l.mu.Unlock()
+			return e.val, e.err
+		}
+		l.mu.Unlock() // in flight: wait for the filler
+		<-e.done
+		return e.val, e.err
+	}
+	e := &lruEntry[K, V]{key: key, done: make(chan struct{})}
+	l.m[key] = e
+	l.mu.Unlock()
+
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		// compute panicked: unpin the entry and wake waiters with an error
+		// so they are not stranded, then let the panic propagate.
+		e.err = errLRUPanic
+		l.mu.Lock()
+		delete(l.m, key)
+		l.mu.Unlock()
+		close(e.done)
+	}()
+	e.val, e.err = compute()
+	finished = true
+
+	l.mu.Lock()
+	if e.err != nil {
+		delete(l.m, key) // errors are not cached; the next Do retries
+	} else {
+		e.elem = l.ll.PushFront(e)
+		for l.ll.Len() > l.cap {
+			oldest := l.ll.Back()
+			ev := oldest.Value.(*lruEntry[K, V])
+			l.ll.Remove(oldest)
+			delete(l.m, ev.key)
+		}
+	}
+	l.mu.Unlock()
+	close(e.done)
+	return e.val, e.err
+}
+
+// errLRUPanic is what waiters coalesced onto a panicking fill receive.
+var errLRUPanic = errors.New("engine: lru compute panicked")

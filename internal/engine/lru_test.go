@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUHitMissEvict(t *testing.T) {
+	l := NewLRU[int, string](2)
+	if l.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", l.Cap())
+	}
+	fills := 0
+	get := func(k int) string {
+		v, err := l.Do(k, func() (string, error) {
+			fills++
+			return fmt.Sprintf("v%d", k), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	if get(1) != "v1" || get(2) != "v2" {
+		t.Fatal("wrong values")
+	}
+	if fills != 2 || l.Len() != 2 {
+		t.Fatalf("fills=%d len=%d, want 2/2", fills, l.Len())
+	}
+	get(1) // hit: 1 is now MRU
+	if fills != 2 {
+		t.Fatalf("hit recomputed: fills=%d", fills)
+	}
+	get(3) // evicts 2 (LRU)
+	if l.Len() != 2 {
+		t.Fatalf("len=%d, want 2", l.Len())
+	}
+	if _, ok := l.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if v, ok := l.Get(1); !ok || v != "v1" {
+		t.Fatalf("1 should have survived, got %q/%v", v, ok)
+	}
+	get(2) // refill
+	if fills != 4 {
+		t.Fatalf("fills=%d, want 4", fills)
+	}
+}
+
+func TestLRUErrorsNotCached(t *testing.T) {
+	l := NewLRU[string, int](4)
+	boom := errors.New("boom")
+	calls := 0
+	_, err := l.Do("k", func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("failed fill cached: len=%d", l.Len())
+	}
+	v, err := l.Do("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry: v=%d err=%v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls=%d, want 2", calls)
+	}
+}
+
+// TestLRUSingleFlight checks concurrent Dos for one key share a single
+// computation and all observe its value.
+func TestLRUSingleFlight(t *testing.T) {
+	l := NewLRU[string, int](4)
+	var fills atomic.Int32
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := l.Do("k", func() (int, error) {
+				fills.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fills=%d, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+}
+
+func TestLRUPanicPropagatesAndUnpins(t *testing.T) {
+	l := NewLRU[string, int](4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		l.Do("k", func() (int, error) { panic("kaboom") })
+	}()
+	// The key must not be stuck in flight: a later Do computes fresh.
+	v, err := l.Do("k", func() (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("after panic: v=%d err=%v", v, err)
+	}
+}
+
+func TestLRUZeroCapacityClamped(t *testing.T) {
+	l := NewLRU[int, int](0)
+	if l.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", l.Cap())
+	}
+	l.Do(1, func() (int, error) { return 1, nil })
+	l.Do(2, func() (int, error) { return 2, nil })
+	if l.Len() != 1 {
+		t.Fatalf("len=%d, want 1", l.Len())
+	}
+}

@@ -123,9 +123,11 @@ func (e *Env) Deck(s mesh.StandardSize) (*mesh.Deck, error) {
 
 // Partition returns (and caches) the multilevel partition summary of a deck
 // at p processors. Distinct (deck, p) keys partition concurrently;
-// duplicate requests wait for the one in flight.
+// duplicate requests wait for the one in flight. The key is the deck's
+// content-derived CacheKey, so two decks sharing a name (possible with
+// parsed decks) can never serve each other's partitions.
 func (e *Env) Partition(d *mesh.Deck, p int) (*mesh.PartitionSummary, error) {
-	key := fmt.Sprintf("%s/%d", d.Name, p)
+	key := fmt.Sprintf("%s/%d", d.CacheKey(), p)
 	return e.summaries.Get(key, func() (*mesh.PartitionSummary, error) {
 		g := partition.FromMesh(d.Mesh)
 		part, err := partition.NewMultilevel(e.Seed).Partition(g, p)
@@ -196,9 +198,10 @@ func (e *Env) ContrivedCalibration() (*compute.Calibrated, error) {
 }
 
 // DeckCalibration returns (and caches) the §3.1 least-squares calibration
-// over campaigns of the given deck at the given processor counts.
+// over campaigns of the given deck at the given processor counts, keyed
+// by the deck's content-derived CacheKey (see Partition).
 func (e *Env) DeckCalibration(d *mesh.Deck, calPs []int) (*compute.Calibrated, error) {
-	key := d.Name
+	key := d.CacheKey()
 	for _, p := range calPs {
 		key += fmt.Sprintf("/%d", p)
 	}

@@ -279,3 +279,47 @@ func TestRenderIncludesNotes(t *testing.T) {
 		t.Fatal("notes missing from render")
 	}
 }
+
+// TestPartitionCacheKeysOnContent is the regression test for the
+// deck-name collision: two decks sharing a Name but differing in
+// content (possible with mesh.ParseDeck inputs) must not serve each
+// other's cached partitions or calibrations.
+func TestPartitionCacheKeysOnContent(t *testing.T) {
+	uniform, err := mesh.ParseDeck([]byte("deck twin\ngrid 16 8\nuniform h\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layered, err := mesh.ParseDeck([]byte("deck twin\ngrid 16 8\nlayered\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Name != layered.Name {
+		t.Fatalf("test needs colliding names, got %q vs %q", uniform.Name, layered.Name)
+	}
+	if uniform.CacheKey() == layered.CacheKey() {
+		t.Fatalf("cache keys collide for different contents: %q", uniform.CacheKey())
+	}
+
+	env := NewQuickEnv()
+	su, err := env.Partition(uniform, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := env.Partition(layered, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uniform deck is all H.E. gas; the layered deck is not. If the
+	// second Partition call had hit the first's cache entry, the material
+	// tables would be identical.
+	if su.CellsByMaterial[0][mesh.Foam] != 0 {
+		t.Fatalf("uniform deck reports foam cells: %v", su.CellsByMaterial[0])
+	}
+	foam := 0
+	for pe := 0; pe < 4; pe++ {
+		foam += sl.CellsByMaterial[pe][mesh.Foam]
+	}
+	if foam == 0 {
+		t.Fatal("layered deck summary has no foam cells — it was served the uniform deck's cached partition")
+	}
+}

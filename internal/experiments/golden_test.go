@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run TestGoldenRegistry -update
+var update = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// TestGoldenRegistry pins the rendered output of every experiment
+// registry id — Tables 1–6, Figures 1–5, the five ablations, and the
+// sensitivity study — against checked-in golden files, so a refactor
+// anywhere in the model, simulator, partitioner, or rendering stack
+// cannot silently drift the paper's reproduced numbers. The quick
+// environment is fully deterministic (counter-derived noise, fixed
+// seed, fixed shrunken decks), so these bytes are stable across
+// machines and parallelism levels.
+//
+// If a change is *supposed* to move the numbers (a model fix, a new
+// deck), regenerate with -update and review the golden diff like any
+// other code change.
+func TestGoldenRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	env := NewQuickEnv()
+	ctx := context.Background()
+	for _, e := range Registry {
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(ctx, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Render()
+			path := filepath.Join("testdata", "golden", e.ID+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden output.\nIf the change is intentional, regenerate with -update and review the diff.\n--- got ---\n%s\n--- want ---\n%s",
+					e.ID, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFilesCoverRegistry fails if a registry id has no golden
+// file or a stale golden file has no registry id — the suite must track
+// the registry exactly.
+func TestGoldenFilesCoverRegistry(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("reading golden dir (run TestGoldenRegistry with -update first): %v", err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		onDisk[e.Name()] = true
+	}
+	for _, e := range Registry {
+		name := e.ID + ".txt"
+		if !onDisk[name] {
+			t.Errorf("registry id %s has no golden file", e.ID)
+		}
+		delete(onDisk, name)
+	}
+	for name := range onDisk {
+		t.Errorf("golden file %s matches no registry id", name)
+	}
+}

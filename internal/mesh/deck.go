@@ -1,8 +1,11 @@
 package mesh
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
+	"sync"
 )
 
 // Table2Heterogeneous is the global material ratio of the paper's input deck
@@ -22,6 +25,38 @@ type Deck struct {
 	// DetonatorX, DetonatorY is the detonation point. The paper places the
 	// detonator on the axis of rotation (x = 0), slightly below center.
 	DetonatorX, DetonatorY float64
+
+	cacheKeyOnce sync.Once
+	cacheKey     string
+}
+
+// CacheKey returns a content-derived identity for the deck: the name
+// plus a fingerprint of the grid, detonator, and per-cell materials.
+// Caches that memoize per-deck artifacts (partitions, calibrations)
+// must key on this rather than Name alone, because two decks can share
+// a name with different contents — e.g. distinct ParseDeck inputs whose
+// "deck" directives, or default parsed-WxH names, coincide. Computed
+// once and memoized; safe for concurrent callers.
+func (d *Deck) CacheKey() string {
+	d.cacheKeyOnce.Do(func() {
+		h := fnv.New64a()
+		var buf [8]byte
+		put := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+		put(uint64(d.Mesh.W))
+		put(uint64(d.Mesh.H))
+		put(math.Float64bits(d.DetonatorX))
+		put(math.Float64bits(d.DetonatorY))
+		mats := make([]byte, len(d.Mesh.CellMaterial))
+		for i, m := range d.Mesh.CellMaterial {
+			mats[i] = byte(m)
+		}
+		h.Write(mats)
+		d.cacheKey = fmt.Sprintf("%s#%016x", d.Name, h.Sum64())
+	})
+	return d.cacheKey
 }
 
 // StandardSize identifies one of the paper's three studied decks plus the

@@ -1,0 +1,80 @@
+package mesh
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDeck asserts the deck parser's no-panic contract: any byte
+// sequence either parses into a structurally sound Deck or returns an
+// error — never a panic, never a malformed mesh. Checked-in seeds live
+// in testdata/fuzz/FuzzParseDeck; run with
+//
+//	go test -fuzz FuzzParseDeck ./internal/mesh
+func FuzzParseDeck(f *testing.F) {
+	seeds := []string{
+		"",
+		"grid 8 4\nlayered\n",
+		"deck mini\ngrid 8 4\nlayered\n",
+		"grid 6 3\nuniform f\n",
+		"# comment\ngrid 4 2\ndetonator 0.0 0.2\ncells\nhafo\nh h a a\n",
+		"grid 2 2\ncells\n01\n23\n",
+		"grid 4 2\n",
+		"grid 4\nlayered\n",
+		"grid 99999999 99999999\nlayered\n",
+		"cells\nhh\n",
+		"grid 4 2\nlayered\nuniform h\n",
+		"grid 2 1\ncells\nhz\n",
+		"deck \xff\xfe\ngrid 2 1\nuniform o\n",
+		"grid 2 1\r\nuniform a\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		// Cap the workload so the fuzzer explores syntax, not mesh-build
+		// throughput: skip inputs whose grid directive asks for more than
+		// 64k cells (ParseDeck itself allows up to MaxParsedCells).
+		for _, line := range strings.Split(string(src), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 3 && fields[0] == "grid" {
+				w, werr := strconv.Atoi(fields[1])
+				h, herr := strconv.Atoi(fields[2])
+				if werr == nil && herr == nil && w > 0 && h > 0 && (w > 1<<16 || h > (1<<16)/w) {
+					return
+				}
+				break
+			}
+		}
+		d, err := ParseDeck(src)
+		if err != nil {
+			if d != nil {
+				t.Fatalf("non-nil deck alongside error %v", err)
+			}
+			return
+		}
+		// A successful parse must be a sound deck.
+		if d == nil || d.Mesh == nil {
+			t.Fatal("nil deck without error")
+		}
+		w, h := d.Mesh.W, d.Mesh.H
+		if w <= 0 || h <= 0 || w*h > MaxParsedCells {
+			t.Fatalf("out-of-bounds grid %dx%d", w, h)
+		}
+		if got := d.Mesh.NumCells(); got != w*h {
+			t.Fatalf("cell count %d != %d*%d", got, w, h)
+		}
+		if len(d.Mesh.CellMaterial) != w*h {
+			t.Fatalf("material count %d != %d cells", len(d.Mesh.CellMaterial), w*h)
+		}
+		for i, m := range d.Mesh.CellMaterial {
+			if m >= NumMaterials {
+				t.Fatalf("cell %d has invalid material %d", i, m)
+			}
+		}
+		if d.Name == "" || strings.ContainsRune(d.Name, '\n') {
+			t.Fatalf("bad deck name %q", d.Name)
+		}
+	})
+}

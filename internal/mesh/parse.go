@@ -1,0 +1,223 @@
+package mesh
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxParsedCells bounds the grid size ParseDeck accepts, so a malformed
+// or hostile deck file cannot ask for an arbitrarily large mesh.
+const MaxParsedCells = 1 << 22 // 4,194,304 cells — 5x the paper's large deck
+
+// ParseDeck parses the textual deck format into a Deck. The format is
+// line-oriented; '#' starts a comment and blank lines are ignored.
+// Directives, in order:
+//
+//	deck NAME            optional deck name (default "parsed-WxH")
+//	grid W H             required, before any material directive
+//	detonator X Y        optional detonation point (default: on the axis
+//	                     of rotation, slightly below center, as the paper
+//	                     places it)
+//	layered              radial Table-2 material bands (the standard deck)
+//	uniform MAT          a single material everywhere
+//	cells                followed by exactly H rows of W material codes,
+//	                     top row first
+//
+// Exactly one of layered / uniform / cells must appear. Materials are
+// named h|a|f|o (H.E. gas, inner aluminum, foam, outer aluminum) or by
+// digit 0-3; cells rows use the same one-character codes. ParseDeck
+// never panics on malformed input: every defect is reported as an error.
+func ParseDeck(src []byte) (*Deck, error) {
+	p := deckParser{}
+	lines := strings.Split(string(src), "\n")
+	for i, raw := range lines {
+		line := raw
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(strings.TrimSuffix(line, "\r"))
+		if line == "" {
+			continue
+		}
+		if err := p.directive(i+1, strings.Fields(line)); err != nil {
+			return nil, err
+		}
+	}
+	return p.finish()
+}
+
+// deckParser accumulates directives until finish assembles the Deck.
+type deckParser struct {
+	name       string
+	w, h       int
+	detX, detY float64
+	hasDet     bool
+
+	mode      string // "", "layered", "uniform", "cells"
+	uniform   Material
+	cellRows  [][]Material
+	wantCells bool // inside a cells block
+}
+
+func (p *deckParser) directive(lineNo int, fields []string) error {
+	if p.wantCells {
+		return p.cellRow(lineNo, fields)
+	}
+	switch fields[0] {
+	case "deck":
+		if len(fields) != 2 {
+			return fmt.Errorf("mesh: line %d: want \"deck NAME\"", lineNo)
+		}
+		p.name = fields[1]
+	case "grid":
+		if p.w != 0 {
+			return fmt.Errorf("mesh: line %d: duplicate grid directive", lineNo)
+		}
+		if len(fields) != 3 {
+			return fmt.Errorf("mesh: line %d: want \"grid W H\"", lineNo)
+		}
+		w, err1 := strconv.Atoi(fields[1])
+		h, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || w <= 0 || h <= 0 {
+			return fmt.Errorf("mesh: line %d: grid dims must be positive integers", lineNo)
+		}
+		// Division, not multiplication: w*h can overflow int on 32-bit
+		// platforms, which would waltz past the very bound this enforces.
+		if w > MaxParsedCells || h > MaxParsedCells/w {
+			return fmt.Errorf("mesh: line %d: grid %dx%d exceeds %d cells", lineNo, w, h, MaxParsedCells)
+		}
+		p.w, p.h = w, h
+	case "detonator":
+		if len(fields) != 3 {
+			return fmt.Errorf("mesh: line %d: want \"detonator X Y\"", lineNo)
+		}
+		x, err1 := strconv.ParseFloat(fields[1], 64)
+		y, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("mesh: line %d: detonator coordinates must be numbers", lineNo)
+		}
+		p.detX, p.detY, p.hasDet = x, y, true
+	case "layered":
+		if len(fields) != 1 {
+			return fmt.Errorf("mesh: line %d: layered takes no arguments", lineNo)
+		}
+		return p.setMode(lineNo, "layered")
+	case "uniform":
+		if len(fields) != 2 {
+			return fmt.Errorf("mesh: line %d: want \"uniform MAT\"", lineNo)
+		}
+		m, err := parseMaterial(fields[1])
+		if err != nil {
+			return fmt.Errorf("mesh: line %d: %v", lineNo, err)
+		}
+		p.uniform = m
+		return p.setMode(lineNo, "uniform")
+	case "cells":
+		if len(fields) != 1 {
+			return fmt.Errorf("mesh: line %d: cells takes no arguments", lineNo)
+		}
+		if p.w == 0 {
+			return fmt.Errorf("mesh: line %d: cells requires a preceding grid directive", lineNo)
+		}
+		if err := p.setMode(lineNo, "cells"); err != nil {
+			return err
+		}
+		p.wantCells = true
+	default:
+		return fmt.Errorf("mesh: line %d: unknown directive %q", lineNo, fields[0])
+	}
+	return nil
+}
+
+func (p *deckParser) setMode(lineNo int, mode string) error {
+	if p.mode != "" {
+		return fmt.Errorf("mesh: line %d: material layout already set to %s", lineNo, p.mode)
+	}
+	p.mode = mode
+	return nil
+}
+
+// cellRow consumes one row of a cells block. Codes may be packed
+// ("hhaaffoo") or space-separated ("h h a a").
+func (p *deckParser) cellRow(lineNo int, fields []string) error {
+	codes := strings.Join(fields, "")
+	if len(codes) != p.w {
+		return fmt.Errorf("mesh: line %d: cells row has %d codes, want %d", lineNo, len(codes), p.w)
+	}
+	row := make([]Material, p.w)
+	for i := 0; i < len(codes); i++ {
+		m, err := parseMaterial(codes[i : i+1])
+		if err != nil {
+			return fmt.Errorf("mesh: line %d: %v", lineNo, err)
+		}
+		row[i] = m
+	}
+	p.cellRows = append(p.cellRows, row)
+	if len(p.cellRows) == p.h {
+		p.wantCells = false
+	}
+	return nil
+}
+
+func (p *deckParser) finish() (*Deck, error) {
+	if p.w == 0 {
+		return nil, fmt.Errorf("mesh: deck spec missing grid directive")
+	}
+	if p.mode == "" {
+		return nil, fmt.Errorf("mesh: deck spec missing material layout (layered, uniform, or cells)")
+	}
+	if p.mode == "cells" && len(p.cellRows) != p.h {
+		return nil, fmt.Errorf("mesh: cells block has %d rows, want %d", len(p.cellRows), p.h)
+	}
+
+	var d *Deck
+	var err error
+	switch p.mode {
+	case "layered":
+		d, err = BuildLayeredDeck(p.w, p.h)
+	case "uniform":
+		d, err = BuildUniformDeck(p.w, p.h, p.uniform)
+	case "cells":
+		// Rows are written top first; mesh rows index bottom-up.
+		lx := 1.0
+		ly := float64(p.h) / float64(p.w)
+		var m *Mesh
+		m, err = BuildStructured(p.w, p.h, lx, ly, func(cx, cy int) Material {
+			return p.cellRows[p.h-1-cy][cx]
+		})
+		if err == nil {
+			d = &Deck{
+				Name:       fmt.Sprintf("parsed-%dx%d", p.w, p.h),
+				Mesh:       m,
+				DetonatorX: 0,
+				DetonatorY: 0.45 * ly,
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mesh: building parsed deck: %w", err)
+	}
+	if p.name != "" {
+		d.Name = p.name
+	}
+	if p.hasDet {
+		d.DetonatorX, d.DetonatorY = p.detX, p.detY
+	}
+	return d, nil
+}
+
+// parseMaterial maps a material code or digit to a Material.
+func parseMaterial(s string) (Material, error) {
+	switch strings.ToLower(s) {
+	case "h", "0":
+		return HEGas, nil
+	case "a", "1":
+		return AluminumInner, nil
+	case "f", "2":
+		return Foam, nil
+	case "o", "3":
+		return AluminumOuter, nil
+	}
+	return 0, fmt.Errorf("unknown material %q (h|a|f|o or 0-3)", s)
+}

@@ -1,0 +1,108 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDeckLayered(t *testing.T) {
+	d, err := ParseDeck([]byte("# the standard deck, small\ndeck mini\ngrid 8 4\nlayered\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "mini" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if d.Mesh.NumCells() != 32 {
+		t.Errorf("cells = %d, want 32", d.Mesh.NumCells())
+	}
+	// A layered parse is the same deck BuildLayeredDeck makes.
+	want, err := BuildLayeredDeck(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mesh.MaterialFractions() != want.Mesh.MaterialFractions() {
+		t.Errorf("material fractions %v != built %v",
+			d.Mesh.MaterialFractions(), want.Mesh.MaterialFractions())
+	}
+	if d.DetonatorX != want.DetonatorX || d.DetonatorY != want.DetonatorY {
+		t.Errorf("detonator (%g,%g) != built (%g,%g)",
+			d.DetonatorX, d.DetonatorY, want.DetonatorX, want.DetonatorY)
+	}
+}
+
+func TestParseDeckCells(t *testing.T) {
+	src := `grid 4 2
+detonator 0 0.2
+cells
+h a f o
+hhaa
+`
+	d, err := ParseDeck([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mesh.NumCells() != 8 {
+		t.Fatalf("cells = %d", d.Mesh.NumCells())
+	}
+	if d.DetonatorY != 0.2 {
+		t.Errorf("detonator y = %g", d.DetonatorY)
+	}
+	// Top row first in the file; mesh rows are bottom-up. Bottom row (cy=0)
+	// is "hhaa", top row (cy=1) is "hafo".
+	wantBottom := []Material{HEGas, HEGas, AluminumInner, AluminumInner}
+	wantTop := []Material{HEGas, AluminumInner, Foam, AluminumOuter}
+	for cx := 0; cx < 4; cx++ {
+		if got := d.Mesh.CellMaterial[cx]; got != wantBottom[cx] {
+			t.Errorf("bottom cell %d = %v, want %v", cx, got, wantBottom[cx])
+		}
+		if got := d.Mesh.CellMaterial[4+cx]; got != wantTop[cx] {
+			t.Errorf("top cell %d = %v, want %v", cx, got, wantTop[cx])
+		}
+	}
+}
+
+func TestParseDeckUniform(t *testing.T) {
+	d, err := ParseDeck([]byte("grid 6 3\nuniform f\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := d.Mesh.MaterialFractions()
+	if fr[Foam] != 1.0 {
+		t.Errorf("foam fraction = %g, want 1", fr[Foam])
+	}
+}
+
+func TestParseDeckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty", "", "missing grid"},
+		{"no layout", "grid 4 2\n", "missing material layout"},
+		{"bad directive", "grid 4 2\nwibble\n", "unknown directive"},
+		{"bad grid", "grid x 2\nlayered\n", "positive integers"},
+		{"zero grid", "grid 0 2\nlayered\n", "positive integers"},
+		{"negative grid", "grid 4 -2\nlayered\n", "positive integers"},
+		{"huge grid", "grid 1000000 1000000\nlayered\n", "exceeds"},
+		{"dup grid", "grid 4 2\ngrid 4 2\nlayered\n", "duplicate grid"},
+		{"two layouts", "grid 4 2\nlayered\nuniform h\n", "already set"},
+		{"bad material", "grid 4 2\nuniform z\n", "unknown material"},
+		{"cells before grid", "cells\nhh\n", "requires a preceding grid"},
+		{"short row", "grid 4 2\ncells\nhh\n", "2 codes, want 4"},
+		{"bad cell code", "grid 2 1\ncells\nhz\n", "unknown material"},
+		{"missing rows", "grid 2 2\ncells\nhh\n", "1 rows, want 2"},
+		{"bad detonator", "grid 4 2\ndetonator one two\nlayered\n", "must be numbers"},
+		{"grid args", "grid 4\nlayered\n", `want "grid W H"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDeck([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"krak/internal/engine"
+	"krak/pkg/krak"
+)
+
+// predictBatcher micro-batches concurrent predict calls into one engine
+// dispatch: the first job to arrive opens a collection window, every job
+// that lands inside it joins the batch, and when the window closes (or
+// the batch hits maxBatch) the whole batch is submitted as a single
+// engine.Map over the server's worker pool. Analytic predictions are
+// cheap per query, so under concurrent load the dispatch overhead —
+// goroutine wakeups, pool token traffic — is the cost worth amortizing;
+// a lone request pays at most the window in extra latency.
+//
+// Jobs are isolated: each records its own result and error, so one
+// failing prediction cannot abort the strangers sharing its batch (the
+// reason this is engine.Map with captured errors rather than
+// Session.Sweep's fail-fast contract).
+type predictBatcher struct {
+	pool   *engine.Pool
+	window time.Duration
+
+	mu    sync.Mutex
+	queue []*predictJob
+
+	// batches and jobs count dispatches and the jobs they carried — the
+	// coalescing ratio /healthz reports.
+	batches atomic.Int64
+	jobs    atomic.Int64
+}
+
+type predictJob struct {
+	m    *krak.Machine
+	sc   *krak.Scenario
+	res  *krak.Result
+	err  error
+	done chan struct{}
+}
+
+// maxBatch flushes a batch early once it holds this many jobs, bounding
+// the latency tail a pathological arrival burst could build up.
+const maxBatch = 64
+
+func newPredictBatcher(pool *engine.Pool, window time.Duration) *predictBatcher {
+	return &predictBatcher{pool: pool, window: window}
+}
+
+// predict evaluates the scenario on the machine as part of a micro-batch
+// and returns its result. Cancelling ctx abandons the wait (the batch
+// still completes; the result is discarded).
+func (b *predictBatcher) predict(ctx context.Context, m *krak.Machine, sc *krak.Scenario) (*krak.Result, error) {
+	j := &predictJob{m: m, sc: sc, done: make(chan struct{})}
+	b.mu.Lock()
+	b.queue = append(b.queue, j)
+	switch {
+	case len(b.queue) >= maxBatch:
+		jobs := b.queue
+		b.queue = nil
+		b.mu.Unlock()
+		go b.dispatch(jobs)
+	case len(b.queue) == 1:
+		// First job in: open the window. The timer flushes whatever has
+		// accumulated by then.
+		b.mu.Unlock()
+		time.AfterFunc(b.window, b.flush)
+	default:
+		b.mu.Unlock()
+	}
+
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// flush takes the queued jobs and dispatches them as one batch.
+func (b *predictBatcher) flush() {
+	b.mu.Lock()
+	jobs := b.queue
+	b.queue = nil
+	b.mu.Unlock()
+	if len(jobs) > 0 {
+		b.dispatch(jobs)
+	}
+}
+
+// dispatch runs one batch as a single engine.Map, capturing each job's
+// outcome on the job itself.
+func (b *predictBatcher) dispatch(jobs []*predictJob) {
+	b.batches.Add(1)
+	b.jobs.Add(int64(len(jobs)))
+	// The per-job error lands on the job, never on the Map, so the only
+	// Map error is context cancellation — impossible with Background.
+	engine.Map(context.Background(), b.pool, len(jobs), func(_ context.Context, i int) (struct{}, error) {
+		j := jobs[i]
+		defer close(j.done)
+		sess, err := krak.NewSession(j.m, j.sc)
+		if err != nil {
+			j.err = err
+			return struct{}{}, nil
+		}
+		j.res, j.err = sess.Predict()
+		return struct{}{}, nil
+	})
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchServer builds a quick server and primes the machine's artifact
+// caches (deck, calibration, a first partition) so the benchmarks
+// measure the serving layer, not the one-time machine warm-up.
+func benchServer(b *testing.B, cacheSize int) *Server {
+	b.Helper()
+	s := New(Config{Quick: true, CacheSize: cacheSize})
+	w := benchPost(s, `{"deck":"small","pes":2,"model":"mesh-specific"}`)
+	if w.Code != http.StatusOK {
+		b.Fatalf("warm-up failed: %d %s", w.Code, w.Body.String())
+	}
+	return s
+}
+
+func benchPost(s *Server, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// BenchmarkServePredict measures the predict endpoint's two serving
+// regimes. "cold" cycles through more distinct requests than the LRU
+// holds, so every request misses the response cache and pays scenario
+// construction, batch dispatch (including the micro-batch window an
+// unaccompanied request waits out), model evaluation, and rendering.
+// "warm" repeats one request, so after the first hit everything is
+// served from the rendered-response LRU. The gap between the two is the
+// cache's value per request — the acceptance bar is warm ≥ 10x faster
+// than cold.
+func BenchmarkServePredict(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		s := benchServer(b, 16) // 64 distinct keys vs 16 slots: misses forever
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := fmt.Sprintf(`{"deck":"small","pes":%d,"model":"mesh-specific"}`, 2+i%64)
+			if w := benchPost(s, body); w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := benchServer(b, 16)
+		body := `{"deck":"small","pes":8,"model":"mesh-specific"}`
+		if w := benchPost(s, body); w.Code != http.StatusOK { // fill the cache
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if w := benchPost(s, body); w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeSweep measures the uncached sweep endpoint: every
+// request fans its grid out over the machine's worker pool against warm
+// artifact caches.
+func BenchmarkServeSweep(b *testing.B) {
+	s := benchServer(b, 16)
+	body := `{"op":"predict","decks":["small"],"pes":[4,8,16,32]}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"krak/pkg/krak"
+)
+
+// FuzzDecodeRequest asserts the no-panic contract of the server's JSON
+// request decoding and validation: any body POSTed at the three wire
+// types either decodes into a valid request or is rejected with an
+// error — never a panic. Validation goes all the way through
+// Scenario()/Grid() construction (the full pre-compute path a request
+// travels before any work is scheduled). Checked-in seeds live in
+// testdata/fuzz/FuzzDecodeRequest; run with
+//
+//	go test -fuzz FuzzDecodeRequest ./internal/server
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"deck":"small","pes":16}`,
+		`{"deck":"medium","pes":128,"model":"mesh-specific","machine":{"interconnect":"gige","seed":7,"quick":true}}`,
+		`{"pes":-1}`,
+		`{"pes":999999999999999999999}`,
+		`{"deck":"large","machine":{"repeats":-3,"serialize_sends":true}}`,
+		`{"iterations":2,"partitioner":"rcb"}`,
+		`{"op":"simulate","decks":["small","medium"],"pes":[4,8],"iterations":1}`,
+		`{"decks":[],"pes":[]}`,
+		`{"decks":["small"],"pes":[0]}`,
+		`{"unknown_field":true}`,
+		`{"deck":4}`,
+		`[1,2,3]`,
+		`null`,
+		`{} {}`,
+		"\x00\xff",
+		strings.Repeat(`{"deck":`, 100),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// Decode through the real handler plumbing (MaxBytesReader,
+		// DisallowUnknownFields, trailing-data check), then validate:
+		// everything a request passes through before compute.
+		var pr krak.PredictRequest
+		if decodeBytes(t, body, &pr) == nil {
+			if _, err := pr.Scenario(); err == nil {
+				n := pr.Normalized()
+				if n.Deck == "" || n.PEs <= 0 || n.Machine.Interconnect == "" {
+					t.Fatalf("valid predict request normalized badly: %+v", n)
+				}
+			}
+		}
+		var sr krak.SimulateRequest
+		if decodeBytes(t, body, &sr) == nil {
+			sr.Scenario()
+		}
+		var wr krak.SweepRequest
+		if decodeBytes(t, body, &wr) == nil {
+			if _, grid, err := wr.Grid(); err == nil {
+				if len(grid) == 0 || len(grid) > krak.MaxSweepPoints {
+					t.Fatalf("valid sweep request built %d points", len(grid))
+				}
+			}
+		}
+	})
+}
+
+// decodeBytes runs the handler's decode path against a raw body.
+func decodeBytes(t *testing.T, body []byte, v any) error {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(string(body)))
+	return decode(httptest.NewRecorder(), r, v)
+}

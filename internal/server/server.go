@@ -1,0 +1,448 @@
+// Package server is the serving subsystem: an http.Handler exposing the
+// performance model over JSON endpoints, built directly on the
+// repository's concurrent engine. It turns the one-shot CLI workflow
+// into a long-running traffic-serving system:
+//
+//	POST /v1/predict            analytic model (micro-batched, cached)
+//	POST /v1/simulate           cluster simulator (cached)
+//	POST /v1/sweep              concurrent (deck, PE) grid (uncached: timings vary)
+//	GET  /v1/experiments        the paper-artifact registry
+//	GET  /v1/experiments/{id}   one regenerated table/figure (cached)
+//	GET  /v1/machines           the interconnect presets
+//	GET  /healthz               liveness + serving counters
+//
+// Request flow: a predict/simulate/experiment request is normalized to a
+// canonical key and looked up in a size-bounded LRU of fully rendered
+// response bodies; concurrent misses for the same key coalesce through
+// the LRU's single-flight fill (the same discipline engine.Cache gives
+// the machine's artifact caches below), so one computation feeds every
+// duplicate in flight. A predict miss then joins a micro-batch — jobs
+// arriving within a small window dispatch as one engine.Map over the
+// server's worker pool — and the machines themselves are shared across
+// requests, so decks, partitions, and calibrations stay warm in their
+// single-flight engine.Cache instances across the whole request stream.
+//
+// Responses are byte-identical to the CLI: /v1/predict for a scenario
+// returns exactly the bytes `krak predict --json` prints for the same
+// flags, down to the trailing newline (the integration test and the CI
+// smoke job both diff the two).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"krak/internal/engine"
+	"krak/pkg/krak"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Parallel bounds the worker pool every machine and the predict
+	// batcher dispatch on; 0 means as wide as the hardware allows.
+	Parallel int
+
+	// CacheSize bounds the rendered-response LRU; 0 means 1024 entries.
+	CacheSize int
+
+	// Quick applies the CLI's -quick (scaled-down decks and calibrations)
+	// to every request's machine, whatever the request says — the mode
+	// the CI smoke job serves in.
+	Quick bool
+
+	// BatchWindow is how long the first predict in a batch waits for
+	// company before the batch dispatches; 0 means 500µs.
+	BatchWindow time.Duration
+}
+
+// maxMachines caps how many distinct machine configurations the server
+// memoizes. Machines hold artifact caches (decks, partitions,
+// calibrations) and live forever, so an open-ended stream of novel
+// (seed, repeats, ...) combinations must saturate rather than exhaust
+// memory; past the cap, requests for new configurations are refused with
+// 503 while known ones keep serving.
+const maxMachines = 64
+
+// Server is the HTTP serving layer. Build with New; it is safe for
+// concurrent use by any number of requests.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	// machines memoizes Machine instances per normalized MachineSpec in a
+	// single-flight cache, so every request against the same platform
+	// shares one set of artifact caches.
+	machines engine.Cache[string, *krak.Machine]
+
+	// responses is the size-bounded LRU of rendered response bodies,
+	// keyed by canonical request. Its single-flight Do coalesces
+	// duplicate in-flight requests.
+	responses *engine.LRU[string, []byte]
+
+	batch *predictBatcher
+	pool  *engine.Pool
+
+	requests  atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 500 * time.Microsecond
+	}
+	pool := engine.New(cfg.Parallel)
+	s := &Server{
+		cfg:       cfg,
+		start:     time.Now(),
+		responses: engine.NewLRU[string, []byte](cfg.CacheSize),
+		batch:     newPredictBatcher(pool, cfg.BatchWindow),
+		pool:      pool,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// maxBody bounds request bodies; the wire types are a few hundred bytes.
+const maxBody = 1 << 20
+
+// decode reads a strict JSON body into v: unknown fields and trailing
+// garbage are errors, exactly what the fuzz harness pounds on.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("decoding request: trailing data after JSON body")
+	}
+	return nil
+}
+
+// errorStatus maps a typed krak error to its HTTP status.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, krak.ErrUnknownExperiment):
+		return http.StatusNotFound
+	case errors.Is(err, krak.ErrUnknownDeck),
+		errors.Is(err, krak.ErrBadPE),
+		errors.Is(err, krak.ErrUnknownModel),
+		errors.Is(err, krak.ErrUnknownPartitioner),
+		errors.Is(err, krak.ErrUnknownInterconnect),
+		errors.Is(err, krak.ErrBadOption),
+		errors.Is(err, krak.ErrBadDeckSpec):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON marshals v the way the CLI's emit does (indented, trailing
+// newline) and writes it.
+func writeJSON(w http.ResponseWriter, v any) {
+	body, err := renderJSON(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBody(w, body)
+}
+
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// renderJSON produces the exact bytes `krak <subcommand> --json` prints:
+// two-space indentation plus the trailing newline fmt.Println adds.
+func renderJSON(v any) ([]byte, error) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// quickSpec applies the server-level Quick default to a request's spec.
+func (s *Server) quickSpec(ms krak.MachineSpec) krak.MachineSpec {
+	if s.cfg.Quick {
+		ms.Quick = true
+	}
+	return ms.Normalized()
+}
+
+// specKey is the canonical identity of a normalized MachineSpec.
+func specKey(ms krak.MachineSpec) string {
+	return fmt.Sprintf("%s|s%d|r%d|q%t|z%t",
+		ms.Interconnect, ms.Seed, ms.Repeats, ms.Quick, ms.SerializeSends)
+}
+
+// errTooManyMachines is the 503 the machine cap returns.
+var errTooManyMachines = errors.New("server: too many distinct machine configurations; retry with a known one")
+
+// machineFor returns the shared Machine for a normalized spec, building
+// it on first use. All requests against the same platform share the
+// machine and therefore its single-flight artifact caches.
+func (s *Server) machineFor(ms krak.MachineSpec) (*krak.Machine, error) {
+	build := func() (*krak.Machine, error) {
+		opts := ms.Options()
+		if s.cfg.Parallel > 0 {
+			opts = append(opts, krak.WithParallelism(s.cfg.Parallel))
+		}
+		return krak.NewMachine(opts...)
+	}
+	// Validate before touching the cache: engine.Cache memoizes errors
+	// forever and Len counts them, so letting invalid specs in would both
+	// pin dead entries and let a stream of bad requests consume the
+	// machine cap. Machine construction is cheap (no artifact computes),
+	// so validating with a throwaway build costs nothing.
+	if _, err := build(); err != nil {
+		return nil, err
+	}
+	key := specKey(ms)
+	if s.machines.Len() >= maxMachines && !s.machines.Has(key) {
+		// Soft cap: known configurations keep serving.
+		return nil, errTooManyMachines
+	}
+	return s.machines.Get(key, build)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":       "ok",
+		"uptime_s":     time.Since(s.start).Seconds(),
+		"requests":     s.requests.Load(),
+		"cache_hits":   s.cacheHits.Load(),
+		"cache_len":    s.responses.Len(),
+		"cache_cap":    s.responses.Cap(),
+		"machines":     s.machines.Len(),
+		"batches":      s.batch.batches.Load(),
+		"batched_jobs": s.batch.jobs.Load(),
+		"parallelism":  s.pool.Workers(),
+	})
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, krak.ListMachines())
+}
+
+// cachedResult looks key up in the rendered-response LRU, computing the
+// Result (and rendering it CLI-identically) on a miss; duplicate misses
+// in flight share the one computation.
+func (s *Server) cachedResult(w http.ResponseWriter, key string, compute func() (*krak.Result, error)) {
+	hit := true
+	body, err := s.responses.Do(key, func() ([]byte, error) {
+		hit = false
+		res, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return renderJSON(res)
+	})
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	if hit {
+		s.cacheHits.Add(1)
+	}
+	writeBody(w, body)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req krak.PredictRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req = req.Normalized()
+	req.Machine = s.quickSpec(req.Machine)
+	sc, err := req.Scenario()
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	m, err := s.machineFor(req.Machine)
+	if err != nil {
+		writeError(w, s.machineStatus(err), err)
+		return
+	}
+	key := fmt.Sprintf("predict|%s|%d|%s|%s", req.Deck, req.PEs, req.Model, specKey(req.Machine))
+	// The fill runs detached from this request's context: other requests
+	// may be coalesced onto it, and one client disconnecting must not
+	// fail the strangers sharing the computation (predictions are short
+	// and the rendered result is cacheable regardless).
+	s.cachedResult(w, key, func() (*krak.Result, error) {
+		return s.batch.predict(context.Background(), m, sc)
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req krak.SimulateRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req = req.Normalized()
+	req.Machine = s.quickSpec(req.Machine)
+	sc, err := req.Scenario()
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	m, err := s.machineFor(req.Machine)
+	if err != nil {
+		writeError(w, s.machineStatus(err), err)
+		return
+	}
+	key := fmt.Sprintf("simulate|%s|%d|%d|%s|%s",
+		req.Deck, req.PEs, req.Iterations, req.Partitioner, specKey(req.Machine))
+	s.cachedResult(w, key, func() (*krak.Result, error) {
+		sess, err := krak.NewSession(m, sc)
+		if err != nil {
+			return nil, err
+		}
+		return sess.Simulate()
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req krak.SweepRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req = req.Normalized()
+	req.Machine = s.quickSpec(req.Machine)
+	op, grid, err := req.Grid()
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	m, err := s.machineFor(req.Machine)
+	if err != nil {
+		writeError(w, s.machineStatus(err), err)
+		return
+	}
+	base, err := krak.NewScenario()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sess, err := krak.NewSession(m, base)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Sweeps are not response-cached: their wall/work timing fields
+	// legitimately vary run to run, and serving stale timings would
+	// misreport the realized speedup. The grid points still share the
+	// machine's warm artifact caches.
+	sr, err := sess.Sweep(r.Context(), op, grid)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, sr)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, krak.ListExperiments())
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ms, err := machineSpecFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ms = s.quickSpec(ms)
+	m, err := s.machineFor(ms)
+	if err != nil {
+		writeError(w, s.machineStatus(err), err)
+		return
+	}
+	key := fmt.Sprintf("experiment|%s|%s", id, specKey(ms))
+	s.cachedResult(w, key, func() (*krak.Result, error) {
+		sc, err := krak.NewScenario()
+		if err != nil {
+			return nil, err
+		}
+		sess, err := krak.NewSession(m, sc)
+		if err != nil {
+			return nil, err
+		}
+		return sess.Experiment(id)
+	})
+}
+
+// machineSpecFromQuery reads the optional machine parameters GET
+// endpoints accept: ?interconnect=, ?seed=, ?repeats=, ?quick=.
+func machineSpecFromQuery(r *http.Request) (krak.MachineSpec, error) {
+	var ms krak.MachineSpec
+	q := r.URL.Query()
+	ms.Interconnect = q.Get("interconnect")
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return ms, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+		ms.Seed = n
+	}
+	if v := q.Get("repeats"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return ms, fmt.Errorf("bad repeats %q: %v", v, err)
+		}
+		ms.Repeats = n
+	}
+	if v := q.Get("quick"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return ms, fmt.Errorf("bad quick %q: %v", v, err)
+		}
+		ms.Quick = b
+	}
+	return ms, nil
+}
+
+// machineStatus maps machineFor errors: the cap is 503, the rest are the
+// usual typed-error statuses.
+func (s *Server) machineStatus(err error) int {
+	if errors.Is(err, errTooManyMachines) {
+		return http.StatusServiceUnavailable
+	}
+	return errorStatus(err)
+}

@@ -1,0 +1,283 @@
+package krak
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file defines the wire types of the `krak serve` HTTP API — the
+// request bodies clients POST and the helpers that turn them into
+// Machines and Scenarios. They live in pkg/krak (not internal/server) so
+// clients and the server share one schema: a Go client builds a
+// PredictRequest, the server decodes the same struct, and the response
+// is a Result whose JSON is byte-identical to `krak predict --json`
+// (Result.MarshalJSON stamps ResultSchema; Result.UnmarshalJSON rejects
+// anything else with ErrSchema).
+
+// MachineSpec is the wire form of a Machine: every field is optional and
+// the zero value means the paper's default platform (QsNet-I, seed 1,
+// full-size decks).
+type MachineSpec struct {
+	// Interconnect selects the network model: "qsnet" (default), "gige",
+	// or "infiniband".
+	Interconnect string `json:"interconnect,omitempty"`
+
+	// Seed is the partitioner seed; 0 means the default (1).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Repeats is the measurement repeat count; 0 means the machine
+	// default (5, or 2 under Quick).
+	Repeats int `json:"repeats,omitempty"`
+
+	// Quick selects scaled-down decks and calibrations, mirroring the
+	// CLI's -quick flag.
+	Quick bool `json:"quick,omitempty"`
+
+	// SerializeSends disables message overlap in the simulator.
+	SerializeSends bool `json:"serialize_sends,omitempty"`
+}
+
+// Normalized returns the spec with defaults filled in, so two specs that
+// mean the same machine compare equal — the identity a serving cache
+// keys on.
+func (ms MachineSpec) Normalized() MachineSpec {
+	if ms.Interconnect == "" {
+		ms.Interconnect = "qsnet"
+	}
+	if ms.Seed == 0 {
+		ms.Seed = 1
+	}
+	return ms
+}
+
+// Options translates the spec into NewMachine options. Validation (an
+// unknown interconnect, a non-positive repeat count) surfaces from
+// NewMachine as the usual typed errors.
+func (ms MachineSpec) Options() []MachineOption {
+	ms = ms.Normalized()
+	opts := []MachineOption{
+		WithInterconnect(ms.Interconnect),
+		WithSeed(ms.Seed),
+	}
+	if ms.Quick {
+		opts = append(opts, WithQuick())
+	}
+	if ms.Repeats != 0 {
+		opts = append(opts, WithRepeats(ms.Repeats))
+	}
+	if ms.SerializeSends {
+		opts = append(opts, WithSerializedSends())
+	}
+	return opts
+}
+
+// PredictRequest is the body of POST /v1/predict. The zero value asks
+// the CLI's default question: the medium deck on 128 processors under
+// the general/homogeneous model.
+type PredictRequest struct {
+	Deck    string      `json:"deck,omitempty"`  // small|medium|large|figure2 (default medium)
+	PEs     int         `json:"pes,omitempty"`   // default 128
+	Model   string      `json:"model,omitempty"` // general-homo|general-het|mesh-specific (default general-homo)
+	Machine MachineSpec `json:"machine,omitempty"`
+}
+
+// Normalized returns the request with defaults filled in.
+func (r PredictRequest) Normalized() PredictRequest {
+	if r.Deck == "" {
+		r.Deck = "medium"
+	}
+	if r.PEs == 0 {
+		r.PEs = 128
+	}
+	if r.Model == "" {
+		r.Model = "general-homo"
+	}
+	r.Machine = r.Machine.Normalized()
+	return r
+}
+
+// Scenario validates the request and builds the Scenario it describes.
+func (r PredictRequest) Scenario() (*Scenario, error) {
+	r = r.Normalized()
+	model, err := ParseModel(r.Model)
+	if err != nil {
+		return nil, err
+	}
+	return NewScenario(WithDeck(r.Deck), WithPE(r.PEs), WithModel(model))
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest struct {
+	Deck        string      `json:"deck,omitempty"`        // default medium
+	PEs         int         `json:"pes,omitempty"`         // default 128
+	Iterations  int         `json:"iterations,omitempty"`  // default: the machine's repeat count
+	Partitioner string      `json:"partitioner,omitempty"` // multilevel|rcb|sfc|strips|random (default multilevel)
+	Machine     MachineSpec `json:"machine,omitempty"`
+}
+
+// Normalized returns the request with defaults filled in.
+func (r SimulateRequest) Normalized() SimulateRequest {
+	if r.Deck == "" {
+		r.Deck = "medium"
+	}
+	if r.PEs == 0 {
+		r.PEs = 128
+	}
+	if r.Partitioner == "" {
+		r.Partitioner = "multilevel"
+	}
+	r.Machine = r.Machine.Normalized()
+	return r
+}
+
+// Scenario validates the request and builds the Scenario it describes.
+func (r SimulateRequest) Scenario() (*Scenario, error) {
+	r = r.Normalized()
+	opts := []ScenarioOption{
+		WithDeck(r.Deck),
+		WithPE(r.PEs),
+		WithPartitioner(r.Partitioner),
+	}
+	if r.Iterations != 0 {
+		opts = append(opts, WithIterations(r.Iterations))
+	}
+	return NewScenario(opts...)
+}
+
+// SweepRequest is the body of POST /v1/sweep: the cross product of Decks
+// and PEs evaluated concurrently on the serving machine's worker pool,
+// decks major — the same grid `krak sweep` builds from its flags.
+type SweepRequest struct {
+	Op          string      `json:"op,omitempty"`          // predict|simulate (default predict)
+	Decks       []string    `json:"decks,omitempty"`       // default ["medium"]
+	PEs         []int       `json:"pes,omitempty"`         // default [32,64,128,256]
+	Model       string      `json:"model,omitempty"`       // for predict points
+	Partitioner string      `json:"partitioner,omitempty"` // for simulate points
+	Iterations  int         `json:"iterations,omitempty"`  // for simulate points
+	Machine     MachineSpec `json:"machine,omitempty"`
+}
+
+// Normalized returns the request with defaults filled in.
+func (r SweepRequest) Normalized() SweepRequest {
+	if r.Op == "" {
+		r.Op = "predict"
+	}
+	if len(r.Decks) == 0 {
+		r.Decks = []string{"medium"}
+	}
+	if len(r.PEs) == 0 {
+		r.PEs = []int{32, 64, 128, 256}
+	}
+	if r.Model == "" {
+		r.Model = "general-homo"
+	}
+	if r.Partitioner == "" {
+		r.Partitioner = "multilevel"
+	}
+	r.Machine = r.Machine.Normalized()
+	return r
+}
+
+// MaxSweepPoints bounds how many grid points one SweepRequest may ask
+// for, so a hostile request body cannot demand an unbounded amount of
+// work.
+const MaxSweepPoints = 4096
+
+// Grid validates the request and builds its sweep operation and scenario
+// grid (decks major, PEs minor).
+func (r SweepRequest) Grid() (SweepOp, []*Scenario, error) {
+	r = r.Normalized()
+	op, err := ParseSweepOp(r.Op)
+	if err != nil {
+		return "", nil, err
+	}
+	model, err := ParseModel(r.Model)
+	if err != nil {
+		return "", nil, err
+	}
+	if r.Iterations < 0 {
+		return "", nil, fmt.Errorf("%w: iterations %d", ErrBadOption, r.Iterations)
+	}
+	// Division, not multiplication, so the product cannot overflow int on
+	// 32-bit platforms (Normalized guarantees both slices are non-empty).
+	if len(r.PEs) > MaxSweepPoints/len(r.Decks) {
+		return "", nil, fmt.Errorf("%w: sweep grid %dx%d exceeds %d points",
+			ErrBadOption, len(r.Decks), len(r.PEs), MaxSweepPoints)
+	}
+	var grid []*Scenario
+	for _, deck := range r.Decks {
+		for _, pe := range r.PEs {
+			opts := []ScenarioOption{
+				WithDeck(deck),
+				WithPE(pe),
+				WithModel(model),
+				WithPartitioner(r.Partitioner),
+			}
+			if r.Iterations > 0 {
+				opts = append(opts, WithIterations(r.Iterations))
+			}
+			sc, err := NewScenario(opts...)
+			if err != nil {
+				return "", nil, err
+			}
+			grid = append(grid, sc)
+		}
+	}
+	return op, grid, nil
+}
+
+// MachineInfo is one entry of GET /v1/machines: an interconnect preset
+// the server can serve predictions for.
+type MachineInfo struct {
+	Interconnect string `json:"interconnect"`
+	Network      string `json:"network"`
+}
+
+// ListMachines returns the interconnect presets in stable order.
+func ListMachines() []MachineInfo {
+	var out []MachineInfo
+	for _, name := range []string{"qsnet", "gige", "infiniband"} {
+		net, err := interconnectByName(name)
+		if err != nil {
+			panic(err) // unreachable: the list above is the registry
+		}
+		out = append(out, MachineInfo{Interconnect: name, Network: net.Name()})
+	}
+	return out
+}
+
+// UnmarshalJSON decodes a Result produced by MarshalJSON (the CLI's
+// --json output and every `krak serve` response), rejecting payloads
+// whose schema stamp is not ResultSchema with ErrSchema.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	type alias Result
+	aux := struct {
+		Schema string `json:"schema"`
+		*alias
+	}{alias: (*alias)(r)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.Schema != ResultSchema {
+		return fmt.Errorf("%w: got %q, want %q", ErrSchema, aux.Schema, ResultSchema)
+	}
+	return nil
+}
+
+// UnmarshalJSON decodes a SweepResult produced by its MarshalJSON,
+// rejecting payloads whose schema stamp is not SweepSchema with
+// ErrSchema.
+func (sr *SweepResult) UnmarshalJSON(data []byte) error {
+	type alias SweepResult
+	aux := struct {
+		Schema string `json:"schema"`
+		*alias
+	}{alias: (*alias)(sr)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.Schema != SweepSchema {
+		return fmt.Errorf("%w: got %q, want %q", ErrSchema, aux.Schema, SweepSchema)
+	}
+	return nil
+}

@@ -58,6 +58,20 @@
 // the wall clock. See ExampleSession_Sweep for a runnable grid
 // evaluation.
 //
+// # Serving
+//
+// `krak serve` exposes Predict, Simulate, Sweep, and the experiment
+// registry as a long-running HTTP service. This package carries the
+// service's wire types so clients and server share one schema:
+// PredictRequest, SimulateRequest, and SweepRequest are the POST bodies
+// (each with Normalized defaults and a Scenario/Grid constructor),
+// MachineSpec selects the platform, and Result/SweepResult round-trip
+// through MarshalJSON/UnmarshalJSON with a schema stamp (ResultSchema,
+// SweepSchema) that UnmarshalJSON enforces via ErrSchema. A /v1/predict
+// response is byte-identical to `krak predict --json` for the same
+// scenario. See docs/ARCHITECTURE.md's Serving section for the endpoint
+// table and the caching/batching data flow.
+//
 // Everything under internal/ is unstable implementation detail; new code
 // should depend only on this package. docs/ARCHITECTURE.md maps the
 // internal packages; docs/MODEL.md maps the paper's model terms to them.

@@ -31,4 +31,13 @@ var (
 	// ErrBadOption is returned for out-of-range option values (iteration
 	// counts, hydro steps/ranks, deck dimensions).
 	ErrBadOption = errors.New("krak: invalid option value")
+
+	// ErrBadDeckSpec is returned by WithDeckSpec when the textual deck
+	// format does not parse.
+	ErrBadDeckSpec = errors.New("krak: invalid deck spec")
+
+	// ErrSchema is returned by Result.UnmarshalJSON when the payload's
+	// schema stamp is not ResultSchema — the guard that keeps clients of
+	// `krak serve` from silently decoding an incompatible layout.
+	ErrSchema = errors.New("krak: unexpected result schema")
 )

@@ -17,6 +17,7 @@ type Scenario struct {
 	deckSize mesh.StandardSize
 	custom   bool
 	w, h     int
+	parsed   *mesh.Deck // from WithDeckSpec; wins over deckSize/dims
 
 	pe          int
 	model       Model
@@ -54,7 +55,7 @@ func WithDeck(name string) ScenarioOption {
 		if err != nil {
 			return err
 		}
-		sc.deckName, sc.deckSize, sc.custom = name, sz, false
+		sc.deckName, sc.deckSize, sc.custom, sc.parsed = name, sz, false, nil
 		return nil
 	}
 }
@@ -67,7 +68,22 @@ func WithDeckDims(w, h int) ScenarioOption {
 			return fmt.Errorf("%w: deck dims %dx%d", ErrBadOption, w, h)
 		}
 		sc.deckName = fmt.Sprintf("layered-%dx%d", w, h)
-		sc.custom, sc.w, sc.h = true, w, h
+		sc.custom, sc.w, sc.h, sc.parsed = true, w, h, nil
+		return nil
+	}
+}
+
+// WithDeckSpec parses src as the textual deck format (see the format
+// documentation in cmd/krak: grid/layered/uniform/cells directives) and
+// uses the resulting deck instead of a standard one — the path behind
+// the CLI's -deck-file flags. Parse failures return ErrBadDeckSpec.
+func WithDeckSpec(src []byte) ScenarioOption {
+	return func(sc *Scenario) error {
+		d, err := mesh.ParseDeck(src)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadDeckSpec, err)
+		}
+		sc.deckName, sc.parsed, sc.custom = d.Name, d, false
 		return nil
 	}
 }

@@ -37,6 +37,9 @@ func NewSession(m *Machine, sc *Scenario) (*Session, error) {
 // deck resolves the scenario's deck, using the machine's cache for
 // standard sizes.
 func (s *Session) deck() (*mesh.Deck, error) {
+	if s.sc.parsed != nil {
+		return s.sc.parsed, nil
+	}
 	if s.sc.custom {
 		return mesh.BuildLayeredDeck(s.sc.w, s.sc.h)
 	}
