@@ -1,0 +1,37 @@
+# Development entry points. CI runs the same steps (see
+# .github/workflows/ci.yml); `make bench` is how the checked-in
+# BENCH_*.json trajectory is produced — run it once per PR and commit
+# the artifact so benchmark regressions are visible PR-over-PR.
+
+BENCH_OUT ?= BENCH_PR4.json
+# -benchtime 1x keeps the sweep cheap enough for CI; override locally
+# (e.g. BENCH_TIME=1s) for stabler numbers before reading too much into
+# a diff.
+BENCH_TIME ?= 1x
+
+.PHONY: test race cover bench fmt vet
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -coverprofile=cover.out -coverpkg=./... ./...
+	go tool cover -func=cover.out | tail -1
+
+bench:
+	# No pipe: a pipeline would exit with tee's status and let a failing
+	# benchmark run publish a silently truncated artifact.
+	go test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) ./... > bench.txt || { cat bench.txt; rm -f bench.txt; exit 1; }
+	cat bench.txt
+	go run ./cmd/bench2json < bench.txt > $(BENCH_OUT)
+	rm -f bench.txt
+	@echo "wrote $(BENCH_OUT)"
+
+fmt:
+	gofmt -l .
+
+vet:
+	go vet ./...

@@ -1,0 +1,107 @@
+// Command bench2json converts `go test -bench` output on stdin into the
+// JSON benchmark artifact `make bench` archives (BENCH_*.json), so
+// benchmark regressions are visible PR-over-PR as a diffable file
+// instead of scrollback.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | bench2json > BENCH_PRn.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Pkg        string  `json:"pkg"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	BPerOp     float64 `json:"b_per_op,omitempty"`
+	AllocsSPer float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Artifact is the archived document.
+type Artifact struct {
+	Schema  string   `json:"schema"`
+	Results []Result `json:"results"`
+}
+
+// ArtifactSchema identifies the artifact layout.
+const ArtifactSchema = "krak.bench/v1"
+
+func main() {
+	art, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// parse scans `go test -bench` output: "pkg: ..." headers set the
+// current package, "Benchmark..." lines become results, everything else
+// is ignored.
+func parse(sc *bufio.Scanner) (*Artifact, error) {
+	art := &Artifact{Schema: ArtifactSchema, Results: []Result{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		r.Pkg = pkg
+		art.Results = append(art.Results, r)
+	}
+	return art, sc.Err()
+}
+
+// parseBenchLine parses one benchmark result line, e.g.
+//
+//	BenchmarkServePredict/warm-8  175310  6799 ns/op  6191 B/op  82 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BPerOp = v
+		case "allocs/op":
+			r.AllocsSPer = v
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	src := `goos: linux
+goarch: amd64
+pkg: krak
+BenchmarkSweepSerial-8   	       2	 612345678 ns/op
+BenchmarkSweepParallel-8 	       4	 312345678 ns/op	 1234 B/op	      56 allocs/op
+PASS
+ok  	krak	3.1s
+pkg: krak/internal/server
+BenchmarkServePredict/warm-8         	  175310	      6799 ns/op	    6191 B/op	      82 allocs/op
+some unrelated line
+ok  	krak/internal/server	2.2s
+`
+	art, err := parse(bufio.NewScanner(strings.NewReader(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != ArtifactSchema {
+		t.Errorf("schema %q", art.Schema)
+	}
+	if len(art.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(art.Results))
+	}
+	r0 := art.Results[0]
+	if r0.Pkg != "krak" || r0.Name != "BenchmarkSweepSerial-8" || r0.Iterations != 2 || r0.NsPerOp != 612345678 {
+		t.Errorf("result 0 drifted: %+v", r0)
+	}
+	r2 := art.Results[2]
+	if r2.Pkg != "krak/internal/server" || r2.BPerOp != 6191 || r2.AllocsSPer != 82 {
+		t.Errorf("result 2 drifted: %+v", r2)
+	}
+}
+
+func TestParseBenchLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkTooShort",
+		"BenchmarkNoIters abc 1 ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	// A bare name+iters line (custom metrics only) still parses.
+	if r, ok := parseBenchLine("BenchmarkX-4 10 3.5 widgets/op 2 ns/op"); !ok || r.NsPerOp != 2 {
+		t.Errorf("custom-metric line: %+v ok=%t", r, ok)
+	}
+}

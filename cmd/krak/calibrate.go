@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"krak/pkg/krak"
+)
+
+// runCalibrate implements `krak calibrate`: fit machine parameters
+// (compute scale vs the ES45 baseline, effective latency, bandwidth,
+// fixed overhead) to a timing dataset — either a measurement file
+// (-data, "obs DECK PES SECONDS" lines) or self-generated runs of the
+// machine under -machine-file / the machine flags (-synth). The fitted
+// machine is reported with standard errors, R², optional k-fold
+// cross-validation (-folds), and as a ready-to-use machine file
+// (-emit-machine writes it; every other subcommand accepts it via
+// -machine-file).
+func runCalibrate(args []string) error {
+	fs := flag.NewFlagSet("krak calibrate", flag.ExitOnError)
+	data := fs.String("data", "", "measurement file to fit (dataset/obs lines)")
+	synth := fs.Bool("synth", false, "self-generate the dataset from the machine instead")
+	synthOp := fs.String("synth-op", "simulate", "synthetic generator: simulate (noisy measured runs) or predict (noiseless model)")
+	decks := fs.String("deck", "small", "comma-separated decks for -synth")
+	pes := fs.String("pe", "2,4,8,16,32", "comma-separated processor counts for -synth")
+	folds := fs.Int("folds", 0, "k-fold cross-validation folds (0 = off)")
+	modelName := fs.String("model", "general-homo", "feature model: general-homo, general-het")
+	emitMachine := fs.String("emit-machine", "", "write the fitted machine file here")
+	writeData := fs.String("write-data", "", "write the (possibly synthesized) dataset here")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	mf := addMachineFlags(fs, true)
+	fs.Parse(args)
+
+	if (*data == "") == !*synth {
+		return fmt.Errorf("krak: calibrate needs exactly one dataset source: -data FILE or -synth")
+	}
+	model, err := krak.ParseModel(*modelName)
+	if err != nil {
+		return err
+	}
+	m, err := mf.machine()
+	if err != nil {
+		return err
+	}
+	sc, err := krak.NewScenario(krak.WithModel(model))
+	if err != nil {
+		return err
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		return err
+	}
+
+	var ds *krak.Dataset
+	if *data != "" {
+		src, err := os.ReadFile(*data)
+		if err != nil {
+			return err
+		}
+		if ds, err = krak.ParseDataset(src); err != nil {
+			return err
+		}
+	} else {
+		op, err := krak.ParseSweepOp(*synthOp)
+		if err != nil {
+			return err
+		}
+		peList, err := parseIntList("pe", *pes)
+		if err != nil {
+			return err
+		}
+		var deckList []string
+		for _, d := range strings.Split(*decks, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				deckList = append(deckList, d)
+			}
+		}
+		if ds, err = s.SynthesizeDataset(context.Background(), op, deckList, peList); err != nil {
+			return err
+		}
+	}
+	if *writeData != "" {
+		if err := os.WriteFile(*writeData, ds.Format(), 0o644); err != nil {
+			return err
+		}
+	}
+
+	cr, err := s.Calibrate(context.Background(), ds, krak.CalibrateOptions{Folds: *folds})
+	if err != nil {
+		return err
+	}
+	if *emitMachine != "" {
+		if err := os.WriteFile(*emitMachine, krak.FormatMachineFile(cr.Fitted), 0o644); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(cr, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Print(cr.Render())
+	return nil
+}

@@ -11,6 +11,7 @@
 //	krak part        -deck small -pe 16 -algo rcb [-deck-file deck.txt] [--json]
 //	krak sweep       -op predict -deck medium -pe 32,64,128,256 -parallel 8 [--json]
 //	krak experiments -list | -run table6 | -write EXPERIMENTS.md -parallel 8 [--json]
+//	krak calibrate   -data runs.txt -folds 5 | -synth -deck small -pe 2,4,8 [--json]
 //	krak serve       -addr :8080 -parallel 8 -cache-size 1024 [-quick]
 //
 // sweep and experiments fan their work out over the machine's worker pool
@@ -28,6 +29,13 @@
 // "detonator X Y", then one of "layered" (Table 2 radial bands),
 // "uniform MAT", or "cells" followed by H rows of W one-character
 // material codes (h|a|f|o or 0-3), top row first.
+//
+// -machine-file (every machine-taking subcommand) loads a declarative
+// machine file: "machine NAME", "interconnect qsnet|gige|infiniband" or
+// a custom "network NAME" with "segment MINBYTES LATENCY_US BW_MBS"
+// lines, "compute-scale F", "seed N", "repeats N", "quick",
+// "serialize-sends". `krak calibrate -emit-machine` writes one from
+// fitted parameters, closing the measure -> calibrate -> predict loop.
 package main
 
 import (
@@ -61,6 +69,8 @@ func main() {
 		err = runSweep(os.Args[2:])
 	case "experiments":
 		err = runExperiments(os.Args[2:])
+	case "calibrate":
+		err = runCalibrate(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -87,29 +97,38 @@ subcommands:
   part         partition a deck and report quality
   sweep        evaluate a deck x PE grid concurrently
   experiments  regenerate the paper's tables and figures
+  calibrate    fit machine parameters to measured timings
   serve        run the batched HTTP prediction service
 
 Run "krak <subcommand> -h" for the subcommand's flags. All subcommands
-accept --json for machine-readable output.
+accept --json for machine-readable output, and subcommands that take a
+machine accept -machine-file (a declarative machine spec; see
+"krak calibrate -h").
 `)
 }
 
 // machineFlags declares the flags shared by every subcommand that needs a
-// Machine and builds it.
+// Machine and builds it. -machine-file loads a declarative machine file
+// (see krak calibrate -h for the format) as the base configuration;
+// explicitly set flags override the file's directives.
 type machineFlags struct {
-	net       *string
-	seed      *uint64
-	quick     *bool
-	serialize *bool
-	parallel  *int
+	fs          *flag.FlagSet
+	machineFile *string
+	net         *string
+	seed        *uint64
+	quick       *bool
+	serialize   *bool
+	parallel    *int
 }
 
 func addMachineFlags(fs *flag.FlagSet, withSerialize bool) *machineFlags {
 	mf := &machineFlags{
-		net:      fs.String("net", "qsnet", "interconnect: qsnet, gige, infiniband"),
-		seed:     fs.Uint64("seed", 1, "partitioner seed"),
-		quick:    fs.Bool("quick", false, "scaled-down decks and calibrations"),
-		parallel: fs.Int("parallel", 0, "worker-pool width (0 = number of CPUs)"),
+		fs:          fs,
+		machineFile: fs.String("machine-file", "", "machine file defining the platform (flags override its directives)"),
+		net:         fs.String("net", "qsnet", "interconnect: qsnet, gige, infiniband"),
+		seed:        fs.Uint64("seed", 1, "partitioner seed"),
+		quick:       fs.Bool("quick", false, "scaled-down decks and calibrations"),
+		parallel:    fs.Int("parallel", 0, "worker-pool width (0 = number of CPUs)"),
 	}
 	if withSerialize {
 		mf.serialize = fs.Bool("serialize-sends", false, "disable message overlap")
@@ -118,15 +137,46 @@ func addMachineFlags(fs *flag.FlagSet, withSerialize bool) *machineFlags {
 }
 
 func (mf *machineFlags) machine() (*krak.Machine, error) {
-	opts := []krak.MachineOption{
-		krak.WithInterconnect(*mf.net),
-		krak.WithSeed(*mf.seed),
-	}
-	if *mf.quick {
-		opts = append(opts, krak.WithQuick())
-	}
-	if mf.serialize != nil && *mf.serialize {
-		opts = append(opts, krak.WithSerializedSends())
+	set := map[string]bool{}
+	mf.fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var opts []krak.MachineOption
+	if *mf.machineFile != "" {
+		src, err := os.ReadFile(*mf.machineFile)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := krak.ParseMachineFile(src)
+		if err != nil {
+			return nil, err
+		}
+		// Only flags the user explicitly set override the file's
+		// directives — including explicit negations like -quick=false.
+		if set["net"] {
+			spec.Interconnect = *mf.net
+			spec.Network = nil
+		}
+		if set["seed"] {
+			spec.Seed = *mf.seed
+		}
+		if set["quick"] {
+			spec.Quick = *mf.quick
+		}
+		if mf.serialize != nil && set["serialize-sends"] {
+			spec.SerializeSends = *mf.serialize
+		}
+		opts = spec.Options()
+	} else {
+		opts = []krak.MachineOption{
+			krak.WithInterconnect(*mf.net),
+			krak.WithSeed(*mf.seed),
+		}
+		if *mf.quick {
+			opts = append(opts, krak.WithQuick())
+		}
+		if mf.serialize != nil && *mf.serialize {
+			opts = append(opts, krak.WithSerializedSends())
+		}
 	}
 	if *mf.parallel < 0 {
 		return nil, fmt.Errorf("krak: -parallel must be >= 0 (0 = number of CPUs), got %d", *mf.parallel)

@@ -10,14 +10,18 @@
 // (discrete-event "measured" platform), RunHydro (the Lagrangian
 // mini-app), Partition (partition quality), Experiment/Experiments
 // (regenerate paper tables and figures, serially or as a concurrent
-// batch), and Sweep (evaluate a whole grid of scenarios concurrently) —
-// all returning unified Result/SweepResult values with Render and
+// batch), Sweep (evaluate a whole grid of scenarios concurrently), and
+// Calibrate (fit machine parameters to measured timings, yielding a
+// reusable machine description) — all returning unified
+// Result/SweepResult/CalibrationResult values with Render and
 // MarshalJSON output. The cmd/krak CLI exposes the same operations as
-// subcommands (predict, simulate, hydro, part, sweep, experiments), and
-// `krak serve` runs them as a long-lived batched HTTP service
-// (internal/server) whose responses are byte-identical to the CLI's
-// --json output; pkg/krak also carries the service's wire types
-// (PredictRequest, SimulateRequest, SweepRequest, MachineSpec).
+// subcommands (predict, simulate, hydro, part, sweep, experiments,
+// calibrate), and `krak serve` runs them as a long-lived batched HTTP
+// service (internal/server) whose responses are byte-identical to the
+// CLI's --json output; pkg/krak also carries the service's wire types
+// (PredictRequest, SimulateRequest, SweepRequest, CalibrateRequest,
+// MachineSpec — including declarative machine files via
+// ParseMachineFile/-machine-file).
 //
 // Everything under internal/ — the analytic model (internal/core), the
 // hydro mini-app (internal/hydro), the METIS-style partitioner

@@ -1,0 +1,127 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// MaxObservations bounds how many observations one dataset may hold, so a
+// hostile measurement file cannot demand an unbounded amount of fitting
+// and feature-extraction work.
+const MaxObservations = 4096
+
+// maxDatasetBytes bounds the textual input ParseDataset accepts.
+const maxDatasetBytes = 1 << 20
+
+// maxTokenLen bounds any single token (dataset or deck name).
+const maxTokenLen = 64
+
+// maxObservationPEs bounds a single observation's processor count.
+const maxObservationPEs = 1 << 20
+
+// Observation is one measured run: the deck it ran, the processor count,
+// and the measured mean iteration time in seconds.
+type Observation struct {
+	Deck    string  `json:"deck"`
+	PEs     int     `json:"pes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Dataset is a named measurement campaign: the observations a calibration
+// fits against.
+type Dataset struct {
+	Name string        `json:"name,omitempty"`
+	Obs  []Observation `json:"observations"`
+}
+
+// ParseDataset parses the textual measurement format into a Dataset. The
+// format is line-oriented; '#' starts a comment and blank lines are
+// ignored. Directives:
+//
+//	dataset NAME              optional dataset name
+//	obs DECK PES SECONDS      one measured run
+//
+// DECK is a deck name (validated by the caller against its deck
+// registry), PES a positive processor count, SECONDS a positive finite
+// mean iteration time. ParseDataset never panics on malformed input:
+// every defect is reported as an error, and the observation count, input
+// size, and token lengths are capped.
+func ParseDataset(src []byte) (*Dataset, error) {
+	if len(src) > maxDatasetBytes {
+		return nil, fmt.Errorf("calib: dataset file is %d bytes, max %d", len(src), maxDatasetBytes)
+	}
+	ds := &Dataset{}
+	for i, raw := range strings.Split(string(src), "\n") {
+		line := raw
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(strings.TrimSuffix(line, "\r"))
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "dataset":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("calib: line %d: want \"dataset NAME\"", i+1)
+			}
+			if len(fields[1]) > maxTokenLen {
+				return nil, fmt.Errorf("calib: line %d: dataset name exceeds %d bytes", i+1, maxTokenLen)
+			}
+			ds.Name = fields[1]
+		case "obs":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("calib: line %d: want \"obs DECK PES SECONDS\"", i+1)
+			}
+			o, err := parseObservation(fields[1], fields[2], fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("calib: line %d: %v", i+1, err)
+			}
+			if len(ds.Obs) >= MaxObservations {
+				return nil, fmt.Errorf("calib: line %d: more than %d observations", i+1, MaxObservations)
+			}
+			ds.Obs = append(ds.Obs, o)
+		default:
+			return nil, fmt.Errorf("calib: line %d: unknown directive %q", i+1, fields[0])
+		}
+	}
+	if len(ds.Obs) == 0 {
+		return nil, fmt.Errorf("calib: dataset has no observations")
+	}
+	return ds, nil
+}
+
+func parseObservation(deck, pes, secs string) (Observation, error) {
+	var o Observation
+	if len(deck) > maxTokenLen {
+		return o, fmt.Errorf("deck name exceeds %d bytes", maxTokenLen)
+	}
+	o.Deck = deck
+	p, err := strconv.Atoi(pes)
+	if err != nil || p <= 0 || p > maxObservationPEs {
+		return o, fmt.Errorf("processor count %q must be a positive integer <= %d", pes, maxObservationPEs)
+	}
+	o.PEs = p
+	t, err := strconv.ParseFloat(secs, 64)
+	if err != nil || math.IsNaN(t) || math.IsInf(t, 0) || t <= 0 {
+		return o, fmt.Errorf("seconds %q must be a positive finite number", secs)
+	}
+	o.Seconds = t
+	return o, nil
+}
+
+// Format renders the dataset back into the textual measurement format
+// ParseDataset reads; Format-then-Parse round-trips any valid dataset.
+func (d *Dataset) Format() []byte {
+	var b strings.Builder
+	if d.Name != "" {
+		fmt.Fprintf(&b, "dataset %s\n", d.Name)
+	}
+	for _, o := range d.Obs {
+		fmt.Fprintf(&b, "obs %s %d %s\n", o.Deck, o.PEs, strconv.FormatFloat(o.Seconds, 'g', -1, 64))
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,96 @@
+package calib
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseDataset(t *testing.T) {
+	src := []byte(`# measured on the lab cluster
+dataset lab-2026-07
+obs small 2 0.0521     # trailing comment
+obs small 4 0.0312
+
+obs medium 128 0.0123
+`)
+	ds, err := ParseDataset(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Dataset{Name: "lab-2026-07", Obs: []Observation{
+		{Deck: "small", PEs: 2, Seconds: 0.0521},
+		{Deck: "small", PEs: 4, Seconds: 0.0312},
+		{Deck: "medium", PEs: 128, Seconds: 0.0123},
+	}}
+	if !reflect.DeepEqual(ds, want) {
+		t.Errorf("parsed %+v, want %+v", ds, want)
+	}
+}
+
+func TestParseDatasetErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty", "", "no observations"},
+		{"comment only", "# nothing\n", "no observations"},
+		{"unknown directive", "observe small 2 1\n", "unknown directive"},
+		{"short obs", "obs small 2\n", "want \"obs DECK PES SECONDS\""},
+		{"bad pes", "obs small zero 1\n", "positive integer"},
+		{"negative pes", "obs small -4 1\n", "positive integer"},
+		{"huge pes", "obs small 99999999 1\n", "positive integer"},
+		{"bad seconds", "obs small 2 fast\n", "positive finite"},
+		{"negative seconds", "obs small 2 -0.5\n", "positive finite"},
+		{"nan seconds", "obs small 2 NaN\n", "positive finite"},
+		{"inf seconds", "obs small 2 +Inf\n", "positive finite"},
+		{"long deck", "obs " + strings.Repeat("x", 65) + " 2 1\n", "exceeds 64 bytes"},
+		{"dataset arity", "dataset a b\n", "want \"dataset NAME\""},
+		{"long name", "dataset " + strings.Repeat("n", 65) + "\n", "exceeds 64 bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDataset([]byte(tc.src))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if !strings.HasPrefix(err.Error(), "calib:") {
+				t.Errorf("error %q lacks the calib: prefix", err)
+			}
+		})
+	}
+}
+
+func TestParseDatasetCaps(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < MaxObservations+1; i++ {
+		b.WriteString("obs small 2 0.5\n")
+	}
+	if _, err := ParseDataset([]byte(b.String())); err == nil ||
+		!strings.Contains(err.Error(), "more than") {
+		t.Errorf("observation cap not enforced: %v", err)
+	}
+	huge := strings.Repeat("#", maxDatasetBytes+1)
+	if _, err := ParseDataset([]byte(huge)); err == nil ||
+		!strings.Contains(err.Error(), "max") {
+		t.Errorf("size cap not enforced: %v", err)
+	}
+}
+
+// TestDatasetFormatRoundTrip pins Format as the exact inverse of
+// ParseDataset, the property the fuzz harness also checks.
+func TestDatasetFormatRoundTrip(t *testing.T) {
+	ds := &Dataset{Name: "rt", Obs: []Observation{
+		{Deck: "small", PEs: 2, Seconds: 0.052134567891234},
+		{Deck: "large", PEs: 1024, Seconds: 1e-9},
+	}}
+	back, err := ParseDataset(ds.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Errorf("round trip drifted: %+v vs %+v", ds, back)
+	}
+}

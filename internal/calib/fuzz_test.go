@@ -1,0 +1,55 @@
+package calib
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDataset asserts the no-panic contract of the measurement-file
+// parser (mirroring mesh.FuzzParseDeck): any input either parses into a
+// bounded, well-formed Dataset or is rejected with an error — never a
+// panic — and every accepted dataset round-trips exactly through Format.
+// Checked-in seeds live in testdata/fuzz/FuzzParseDataset; run with
+//
+//	go test -fuzz FuzzParseDataset ./internal/calib
+func FuzzParseDataset(f *testing.F) {
+	seeds := []string{
+		"dataset lab\nobs small 2 0.05\nobs small 4 0.03\n",
+		"# comment\nobs medium 128 0.0123\r\n",
+		"obs small 0 1\n",
+		"obs small 2 -1\n",
+		"obs small 2 1e309\n",
+		"dataset " + strings.Repeat("n", 100) + "\n",
+		"obs\n",
+		strings.Repeat("obs small 2 0.5\n", 64),
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		ds, err := ParseDataset(src)
+		if err != nil {
+			if ds != nil {
+				t.Fatal("error with non-nil dataset")
+			}
+			return
+		}
+		if len(ds.Obs) == 0 || len(ds.Obs) > MaxObservations {
+			t.Fatalf("accepted dataset with %d observations", len(ds.Obs))
+		}
+		for _, o := range ds.Obs {
+			if o.PEs <= 0 || o.Seconds <= 0 || o.Deck == "" {
+				t.Fatalf("accepted invalid observation %+v", o)
+			}
+		}
+		back, err := ParseDataset(ds.Format())
+		if err != nil {
+			t.Fatalf("formatted dataset does not reparse: %v", err)
+		}
+		if !reflect.DeepEqual(ds, back) {
+			t.Fatalf("format round trip drifted:\n%+v\n%+v", ds, back)
+		}
+	})
+}

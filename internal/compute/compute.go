@@ -179,6 +179,24 @@ func (t *TruthTable) WithoutKnee() *TruthTable {
 	return &c
 }
 
+// Scaled returns a copy of the table with every cost coefficient (fixed,
+// per-cell, and sqrt terms) multiplied by f — a uniformly slower (f > 1)
+// or faster (f < 1) processor relative to this one. Noise amplitude and
+// streams are unchanged, so a scaled table's noisy measurements are
+// exactly f times the original's.
+func (t *TruthTable) Scaled(f float64) *TruthTable {
+	c := *t
+	c.Name = fmt.Sprintf("%s (x%g)", t.Name, f)
+	for i := range c.Phases {
+		c.Phases[i].Fixed *= f
+		for m := range c.Phases[i].PerCell {
+			c.Phases[i].PerCell[m] *= f
+			c.Phases[i].PerSqrt[m] *= f
+		}
+	}
+	return &c
+}
+
 // WithoutNoise returns a copy of the table with measurement noise disabled.
 func (t *TruthTable) WithoutNoise() *TruthTable {
 	c := *t

@@ -75,15 +75,22 @@ func TestMapNilPoolSerial(t *testing.T) {
 func TestMapFirstErrorWins(t *testing.T) {
 	p := New(8)
 	errAt := func(i int) error { return fmt.Errorf("job %d failed", i) }
-	var release sync.WaitGroup
+	// Job 5 must not fail before job 2's fn has started: a worker that has
+	// claimed index 2 but not yet called fn would otherwise see the
+	// cancelled context and record a cancellation instead of the genuine
+	// error, legitimately making job 5 the lowest genuine failure.
+	var started, release sync.WaitGroup
+	started.Add(1)
 	release.Add(1)
 	_, err := Map(context.Background(), p, 16, func(_ context.Context, i int) (int, error) {
 		switch i {
 		case 2:
 			// Fail late so index 5 fails first in wall-clock order.
+			started.Done()
 			release.Wait()
 			return 0, errAt(2)
 		case 5:
+			started.Wait()
 			defer release.Done()
 			return 0, errAt(5)
 		default:

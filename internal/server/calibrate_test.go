@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"krak/pkg/krak"
+)
+
+const calibrateBody = `{"dataset":"dataset srv\nobs small 2 0.052\nobs small 4 0.031\nobs small 8 0.021\nobs small 16 0.015\n","folds":2}`
+
+// TestCalibrateByteIdenticalToCLI extends the serving contract to the
+// calibration endpoint: POST /v1/calibrate must return exactly the bytes
+// `krak calibrate -data ... -quick -folds 2 --json` prints for the same
+// dataset and machine.
+func TestCalibrateByteIdenticalToCLI(t *testing.T) {
+	// The CLI path: quick machine, default feature model, emit()'s
+	// MarshalIndent plus trailing newline.
+	m, err := krak.NewMachine(krak.WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := krak.NewScenario(krak.WithModel(krak.GeneralHomogeneous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := krak.NewSession(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := krak.ParseDataset([]byte("dataset srv\nobs small 2 0.052\nobs small 4 0.031\nobs small 8 0.021\nobs small 16 0.015\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := sess.Calibrate(context.Background(), ds, krak.CalibrateOptions{Folds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := json.MarshalIndent(cr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliBody := string(cli) + "\n"
+
+	s := quickServer()
+	w := post(t, s, "/v1/calibrate", calibrateBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if w.Body.String() != cliBody {
+		t.Errorf("server calibration is not byte-identical to the CLI\n--- server ---\n%s\n--- cli ---\n%s",
+			w.Body.String(), cliBody)
+	}
+
+	// The response decodes as a schema-stamped CalibrationResult.
+	var back krak.CalibrationResult
+	if err := json.Unmarshal(w.Body.Bytes(), &back); err != nil {
+		t.Fatalf("response does not decode: %v", err)
+	}
+	if back.Observations != 4 || back.CV == nil || back.CV.Folds != 2 {
+		t.Errorf("decoded calibration drifted: %+v", back)
+	}
+}
+
+// TestCalibrateCached asserts calibrations enter the rendered-response
+// LRU: a repeated request is a byte-identical cache hit.
+func TestCalibrateCached(t *testing.T) {
+	s := quickServer()
+	w1 := post(t, s, "/v1/calibrate", calibrateBody)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w1.Code, w1.Body.String())
+	}
+	hits := s.cacheHits.Load()
+	w2 := post(t, s, "/v1/calibrate", calibrateBody)
+	if w2.Code != http.StatusOK || w2.Body.String() != w1.Body.String() {
+		t.Error("repeat calibration differs")
+	}
+	if s.cacheHits.Load() != hits+1 {
+		t.Errorf("repeat calibration did not hit the cache (hits %d -> %d)", hits, s.cacheHits.Load())
+	}
+}
+
+// TestCalibrateSynthEndpoint runs the self-measuring path: the server
+// generates the dataset from the request's machine and fits it.
+func TestCalibrateSynthEndpoint(t *testing.T) {
+	s := quickServer()
+	// A single-segment network keeps the analytic model exactly linear in
+	// (latency, bandwidth), so the baseline-rate machine must fit with a
+	// compute scale of exactly 1 (multi-segment presets like qsnet are
+	// only approximately a single (lat, bw) pair).
+	w := post(t, s, "/v1/calibrate",
+		`{"synth":{"op":"predict","decks":["small"],"pes":[2,4,8]},"model":"general-het",`+
+			`"machine":{"file":"network flat\nsegment 0 10 300\n"}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var cr krak.CalibrationResult
+	if err := json.Unmarshal(w.Body.Bytes(), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Observations != 3 || cr.Dataset != "synth-predict" || cr.Model != "general-het" {
+		t.Errorf("synth calibration drifted: %+v", cr)
+	}
+	if cr.Params.ComputeScale < 0.999 || cr.Params.ComputeScale > 1.001 {
+		t.Errorf("baseline compute scale %.6f", cr.Params.ComputeScale)
+	}
+}
+
+// TestCalibrateErrors pins the endpoint's error statuses.
+func TestCalibrateErrors(t *testing.T) {
+	s := quickServer()
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"no source", `{}`, http.StatusBadRequest},
+		{"two sources", `{"dataset":"obs small 2 1\n","synth":{}}`, http.StatusBadRequest},
+		{"malformed dataset", `{"dataset":"obs small 2 never\n"}`, http.StatusBadRequest},
+		{"unknown deck", `{"dataset":"obs mega 2 1\n"}`, http.StatusBadRequest},
+		{"mesh-specific model", `{"dataset":"obs small 2 1\n","model":"mesh-specific"}`, http.StatusBadRequest},
+		{"unknown model", `{"dataset":"obs small 2 1\n","model":"psychic"}`, http.StatusBadRequest},
+		{"bad folds", `{"dataset":"obs small 2 1\n","folds":9}`, http.StatusBadRequest},
+		{"bad machine file", `{"dataset":"obs small 2 1\n","machine":{"file":"warp 9\n"}}`, http.StatusBadRequest},
+		{"unknown field", `{"observations":[],"bogus":1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := post(t, s, "/v1/calibrate", tc.body)
+			if w.Code != tc.want {
+				t.Errorf("status %d, want %d: %s", w.Code, tc.want, w.Body.String())
+			}
+			if !strings.Contains(w.Body.String(), `"error"`) {
+				t.Errorf("no error envelope: %s", w.Body.String())
+			}
+		})
+	}
+}
+
+// TestMachineFileSpecInWireRequests covers the fingerprint identity:
+// a machine arriving as an embedded machine file and the equivalent
+// explicit spec must share one cached machine and produce identical
+// predictions.
+func TestMachineFileSpecInWireRequests(t *testing.T) {
+	s := quickServer()
+	explicit := post(t, s, "/v1/predict",
+		`{"deck":"small","pes":4,"machine":{"interconnect":"gige","seed":3}}`)
+	if explicit.Code != http.StatusOK {
+		t.Fatalf("explicit spec: %d %s", explicit.Code, explicit.Body.String())
+	}
+	viaFile := post(t, s, "/v1/predict",
+		`{"deck":"small","pes":4,"machine":{"file":"interconnect gige\nseed 3\n"}}`)
+	if viaFile.Code != http.StatusOK {
+		t.Fatalf("file spec: %d %s", viaFile.Code, viaFile.Body.String())
+	}
+	if explicit.Body.String() != viaFile.Body.String() {
+		t.Error("file-defined machine predicts differently from the equivalent explicit spec")
+	}
+	if got := s.machines.Len(); got != 1 {
+		t.Errorf("machines = %d, want 1 (fingerprint should unify the two spellings)", got)
+	}
+
+	// A custom network is a distinct fingerprint and serves fine.
+	custom := post(t, s, "/v1/predict",
+		`{"deck":"small","pes":4,"machine":{"file":"network lab\nsegment 0 20 200\n"}}`)
+	if custom.Code != http.StatusOK {
+		t.Fatalf("custom network: %d %s", custom.Code, custom.Body.String())
+	}
+	if custom.Body.String() == viaFile.Body.String() {
+		t.Error("custom network served the preset's prediction")
+	}
+	if got := s.machines.Len(); got != 2 {
+		t.Errorf("machines = %d, want 2", got)
+	}
+}
+
+// TestCalibratedMachineServesPredictions closes the loop at the serving
+// layer: calibrate, take the fitted machine spec from the response, and
+// predict on it.
+func TestCalibratedMachineServesPredictions(t *testing.T) {
+	s := quickServer()
+	w := post(t, s, "/v1/calibrate", calibrateBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("calibrate: %d %s", w.Code, w.Body.String())
+	}
+	var cr krak.CalibrationResult
+	if err := json.Unmarshal(w.Body.Bytes(), &cr); err != nil {
+		t.Fatal(err)
+	}
+	req, err := json.Marshal(map[string]any{"deck": "small", "pes": 8, "machine": cr.Fitted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.machines.Len()
+	p := post(t, s, "/v1/predict", string(req))
+	if p.Code != http.StatusOK {
+		t.Fatalf("predict on fitted machine: %d %s", p.Code, p.Body.String())
+	}
+	if s.machines.Len() != before+1 {
+		t.Errorf("fitted machine did not enter the machine cache (%d -> %d)", before, s.machines.Len())
+	}
+	var res krak.Result
+	if err := json.Unmarshal(p.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds <= 0 || res.Network != "calibrated" {
+		t.Errorf("fitted-machine prediction drifted: total %g network %q", res.TotalSeconds, res.Network)
+	}
+}

@@ -37,6 +37,12 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{} {}`,
 		"\x00\xff",
 		strings.Repeat(`{"deck":`, 100),
+		`{"machine":{"file":"interconnect gige\nseed 3\n"}}`,
+		`{"machine":{"network":{"segments":[{"min_bytes":0,"latency_us":5,"bandwidth_mbs":100}]},"compute_scale":1.5}}`,
+		`{"machine":{"file":"network x\nsegment 64 1 1\n"}}`,
+		`{"dataset":"obs small 2 0.05\nobs small 4 0.03\n","folds":2}`,
+		`{"synth":{"op":"predict","decks":["small"],"pes":[2,4]}}`,
+		`{"observations":[{"deck":"small","pes":2,"seconds":-1}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -49,8 +55,25 @@ func FuzzDecodeRequest(f *testing.F) {
 		if decodeBytes(t, body, &pr) == nil {
 			if _, err := pr.Scenario(); err == nil {
 				n := pr.Normalized()
-				if n.Deck == "" || n.PEs <= 0 || n.Machine.Interconnect == "" {
+				if n.Deck == "" || n.PEs <= 0 {
 					t.Fatalf("valid predict request normalized badly: %+v", n)
+				}
+				// Specs without an embedded file or custom network
+				// normalize to an explicit interconnect; file-bearing specs
+				// stay raw until Resolved, and a custom network supersedes
+				// (and clears) the preset.
+				if n.Machine.File == "" && n.Machine.Network == nil && n.Machine.Interconnect == "" {
+					t.Fatalf("valid predict request normalized badly: %+v", n)
+				}
+			}
+			// The machine-resolution path a request travels in a handler:
+			// either a typed error, or a spec whose normalization is
+			// idempotent — renormalizing must not move the fingerprint the
+			// serving caches key on.
+			if ms, err := pr.Machine.Resolved(); err == nil {
+				norm := ms.Normalized()
+				if norm.Normalized().Fingerprint() != norm.Fingerprint() {
+					t.Fatalf("normalization is not idempotent for %+v", ms)
 				}
 			}
 		}
@@ -65,6 +88,14 @@ func FuzzDecodeRequest(f *testing.F) {
 					t.Fatalf("valid sweep request built %d points", len(grid))
 				}
 			}
+		}
+		var cr krak.CalibrateRequest
+		if decodeBytes(t, body, &cr) == nil {
+			// Validation without compute: normalization, scenario
+			// construction, and machine resolution must never panic.
+			cr.Normalized()
+			cr.Scenario()
+			cr.Machine.Resolved()
 		}
 	})
 }

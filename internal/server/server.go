@@ -6,10 +6,16 @@
 //	POST /v1/predict            analytic model (micro-batched, cached)
 //	POST /v1/simulate           cluster simulator (cached)
 //	POST /v1/sweep              concurrent (deck, PE) grid (uncached: timings vary)
+//	POST /v1/calibrate          fit machine parameters to timings (cached)
 //	GET  /v1/experiments        the paper-artifact registry
 //	GET  /v1/experiments/{id}   one regenerated table/figure (cached)
 //	GET  /v1/machines           the interconnect presets
 //	GET  /healthz               liveness + serving counters
+//
+// Machines are identified by the content fingerprint of their normalized
+// MachineSpec, so file-defined and calibrated machines (custom networks,
+// compute scales, specs arriving as embedded machine files) share the
+// same capped machine cache as the interconnect presets.
 //
 // Request flow: a predict/simulate/experiment request is normalized to a
 // canonical key and looked up in a size-bounded LRU of fully rendered
@@ -30,6 +36,7 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -115,6 +122,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/calibrate", s.handleCalibrate)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux = mux
@@ -155,7 +163,9 @@ func errorStatus(err error) int {
 		errors.Is(err, krak.ErrUnknownPartitioner),
 		errors.Is(err, krak.ErrUnknownInterconnect),
 		errors.Is(err, krak.ErrBadOption),
-		errors.Is(err, krak.ErrBadDeckSpec):
+		errors.Is(err, krak.ErrBadDeckSpec),
+		errors.Is(err, krak.ErrBadMachineSpec),
+		errors.Is(err, krak.ErrCalibration):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -194,18 +204,18 @@ func renderJSON(v any) ([]byte, error) {
 	return append(out, '\n'), nil
 }
 
-// quickSpec applies the server-level Quick default to a request's spec.
-func (s *Server) quickSpec(ms krak.MachineSpec) krak.MachineSpec {
-	if s.cfg.Quick {
-		ms.Quick = true
+// resolveSpec expands an embedded machine file (the wire MachineSpec's
+// file field), applies the server-level Quick default, and normalizes —
+// after it, the spec's Fingerprint is the machine's serving identity.
+func (s *Server) resolveSpec(ms krak.MachineSpec) (krak.MachineSpec, error) {
+	r, err := ms.Resolved()
+	if err != nil {
+		return ms, err
 	}
-	return ms.Normalized()
-}
-
-// specKey is the canonical identity of a normalized MachineSpec.
-func specKey(ms krak.MachineSpec) string {
-	return fmt.Sprintf("%s|s%d|r%d|q%t|z%t",
-		ms.Interconnect, ms.Seed, ms.Repeats, ms.Quick, ms.SerializeSends)
+	if s.cfg.Quick {
+		r.Quick = true
+	}
+	return r.Normalized(), nil
 }
 
 // errTooManyMachines is the 503 the machine cap returns.
@@ -230,7 +240,7 @@ func (s *Server) machineFor(ms krak.MachineSpec) (*krak.Machine, error) {
 	if _, err := build(); err != nil {
 		return nil, err
 	}
-	key := specKey(ms)
+	key := ms.Fingerprint()
 	if s.machines.Len() >= maxMachines && !s.machines.Has(key) {
 		// Soft cap: known configurations keep serving.
 		return nil, errTooManyMachines
@@ -257,18 +267,13 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, krak.ListMachines())
 }
 
-// cachedResult looks key up in the rendered-response LRU, computing the
-// Result (and rendering it CLI-identically) on a miss; duplicate misses
-// in flight share the one computation.
-func (s *Server) cachedResult(w http.ResponseWriter, key string, compute func() (*krak.Result, error)) {
+// cachedBody looks key up in the rendered-response LRU, filling it on a
+// miss; duplicate misses in flight share the one computation.
+func (s *Server) cachedBody(w http.ResponseWriter, key string, fill func() ([]byte, error)) {
 	hit := true
 	body, err := s.responses.Do(key, func() ([]byte, error) {
 		hit = false
-		res, err := compute()
-		if err != nil {
-			return nil, err
-		}
-		return renderJSON(res)
+		return fill()
 	})
 	if err != nil {
 		writeError(w, errorStatus(err), err)
@@ -280,6 +285,18 @@ func (s *Server) cachedResult(w http.ResponseWriter, key string, compute func() 
 	writeBody(w, body)
 }
 
+// cachedResult is cachedBody for handlers that compute a Result,
+// rendering it CLI-identically.
+func (s *Server) cachedResult(w http.ResponseWriter, key string, compute func() (*krak.Result, error)) {
+	s.cachedBody(w, key, func() ([]byte, error) {
+		res, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return renderJSON(res)
+	})
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req krak.PredictRequest
 	if err := decode(w, r, &req); err != nil {
@@ -287,7 +304,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req = req.Normalized()
-	req.Machine = s.quickSpec(req.Machine)
+	ms, err := s.resolveSpec(req.Machine)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	req.Machine = ms
 	sc, err := req.Scenario()
 	if err != nil {
 		writeError(w, errorStatus(err), err)
@@ -298,7 +320,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, s.machineStatus(err), err)
 		return
 	}
-	key := fmt.Sprintf("predict|%s|%d|%s|%s", req.Deck, req.PEs, req.Model, specKey(req.Machine))
+	key := fmt.Sprintf("predict|%s|%d|%s|%s", req.Deck, req.PEs, req.Model, req.Machine.Fingerprint())
 	// The fill runs detached from this request's context: other requests
 	// may be coalesced onto it, and one client disconnecting must not
 	// fail the strangers sharing the computation (predictions are short
@@ -315,7 +337,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req = req.Normalized()
-	req.Machine = s.quickSpec(req.Machine)
+	ms, err := s.resolveSpec(req.Machine)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	req.Machine = ms
 	sc, err := req.Scenario()
 	if err != nil {
 		writeError(w, errorStatus(err), err)
@@ -327,7 +354,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("simulate|%s|%d|%d|%s|%s",
-		req.Deck, req.PEs, req.Iterations, req.Partitioner, specKey(req.Machine))
+		req.Deck, req.PEs, req.Iterations, req.Partitioner, req.Machine.Fingerprint())
 	s.cachedResult(w, key, func() (*krak.Result, error) {
 		sess, err := krak.NewSession(m, sc)
 		if err != nil {
@@ -344,7 +371,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req = req.Normalized()
-	req.Machine = s.quickSpec(req.Machine)
+	ms, err := s.resolveSpec(req.Machine)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	req.Machine = ms
 	op, grid, err := req.Grid()
 	if err != nil {
 		writeError(w, errorStatus(err), err)
@@ -377,6 +409,62 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, sr)
 }
 
+// handleCalibrate fits machine parameters to the request's dataset
+// (textual measurement file, structured observations, or self-generated
+// runs on the request's machine) and returns a CalibrationResult whose
+// body is byte-identical to `krak calibrate --json` for the same inputs.
+// Calibration is deterministic for a fixed machine and dataset, so
+// responses are cached like predictions, keyed by a content hash of the
+// canonical request.
+func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	var req krak.CalibrateRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req = req.Normalized()
+	ms, err := s.resolveSpec(req.Machine)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	req.Machine = ms
+	sc, err := req.Scenario()
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	m, err := s.machineFor(req.Machine)
+	if err != nil {
+		writeError(w, s.machineStatus(err), err)
+		return
+	}
+	canon, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	key := fmt.Sprintf("calibrate|%x", sha256.Sum256(canon))
+	// Like predict fills, the computation runs detached from the request
+	// context: coalesced strangers must not be failed by one client
+	// disconnecting, and the result is cacheable regardless.
+	s.cachedBody(w, key, func() ([]byte, error) {
+		sess, err := krak.NewSession(m, sc)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := req.Materialize(context.Background(), sess)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := sess.Calibrate(context.Background(), ds, krak.CalibrateOptions{Folds: req.Folds})
+		if err != nil {
+			return nil, err
+		}
+		return renderJSON(cr)
+	})
+}
+
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, krak.ListExperiments())
 }
@@ -388,13 +476,16 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ms = s.quickSpec(ms)
+	if ms, err = s.resolveSpec(ms); err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
 	m, err := s.machineFor(ms)
 	if err != nil {
 		writeError(w, s.machineStatus(err), err)
 		return
 	}
-	key := fmt.Sprintf("experiment|%s|%s", id, specKey(ms))
+	key := fmt.Sprintf("experiment|%s|%s", id, ms.Fingerprint())
 	s.cachedResult(w, key, func() (*krak.Result, error) {
 		sc, err := krak.NewScenario()
 		if err != nil {

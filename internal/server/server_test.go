@@ -363,7 +363,7 @@ func TestQuickDefaultApplied(t *testing.T) {
 	if s.machines.Len() != 1 {
 		t.Fatalf("machines = %d", s.machines.Len())
 	}
-	if !s.machines.Has(specKey(krak.MachineSpec{Quick: true}.Normalized())) {
+	if !s.machines.Has(krak.MachineSpec{Quick: true}.Fingerprint()) {
 		t.Error("request was not served by the quick machine")
 	}
 }

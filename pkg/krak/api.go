@@ -1,6 +1,9 @@
 package krak
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 )
@@ -14,13 +17,28 @@ import (
 // (Result.MarshalJSON stamps ResultSchema; Result.UnmarshalJSON rejects
 // anything else with ErrSchema).
 
-// MachineSpec is the wire form of a Machine: every field is optional and
-// the zero value means the paper's default platform (QsNet-I, seed 1,
-// full-size decks).
+// MachineSpec is the wire and file form of a Machine: every field is
+// optional and the zero value means the paper's default platform
+// (QsNet-I, seed 1, full-size decks). Beyond the presets, a spec can
+// describe an arbitrary cluster: a custom piecewise Network, a
+// ComputeScale relative to the baseline cost tables, or a whole
+// machine file embedded in File.
 type MachineSpec struct {
+	// Name is an optional display name (machine files' machine directive).
+	Name string `json:"name,omitempty"`
+
 	// Interconnect selects the network model: "qsnet" (default), "gige",
-	// or "infiniband".
+	// or "infiniband". Ignored when Network is set.
 	Interconnect string `json:"interconnect,omitempty"`
+
+	// Network, when non-nil, is a custom piecewise interconnect used in
+	// place of an Interconnect preset — the form `krak calibrate` emits
+	// and machine files' network/segment directives parse into.
+	Network *NetworkSpec `json:"network,omitempty"`
+
+	// ComputeScale multiplies the machine's computation cost tables
+	// relative to the ES45 baseline; 0 means 1 (the baseline rate).
+	ComputeScale float64 `json:"compute_scale,omitempty"`
 
 	// Seed is the partitioner seed; 0 means the default (1).
 	Seed uint64 `json:"seed,omitempty"`
@@ -35,29 +53,139 @@ type MachineSpec struct {
 
 	// SerializeSends disables message overlap in the simulator.
 	SerializeSends bool `json:"serialize_sends,omitempty"`
+
+	// File, when non-empty, is the text of a machine file (the
+	// ParseMachineFile format); the spec's other fields override the
+	// file's directives. Resolve it with Resolved before comparing or
+	// fingerprinting specs.
+	File string `json:"file,omitempty"`
 }
 
 // Normalized returns the spec with defaults filled in, so two specs that
 // mean the same machine compare equal — the identity a serving cache
-// keys on.
+// keys on. A spec with an embedded File is returned unchanged: filling
+// defaults before Resolved runs would turn them into overrides of the
+// file's directives.
 func (ms MachineSpec) Normalized() MachineSpec {
-	if ms.Interconnect == "" {
+	if ms.File != "" {
+		return ms
+	}
+	if ms.Network != nil {
+		// A custom network supersedes the preset entirely; clearing the
+		// ignored Interconnect keeps two spellings of the same platform on
+		// one fingerprint (and one slot of the serving machine cap).
+		ms.Interconnect = ""
+		if ms.Network.Name == "" {
+			n := *ms.Network
+			n.Name = "custom"
+			ms.Network = &n
+		}
+	} else if ms.Interconnect == "" {
 		ms.Interconnect = "qsnet"
 	}
 	if ms.Seed == 0 {
 		ms.Seed = 1
 	}
+	if ms.ComputeScale == 0 {
+		ms.ComputeScale = 1
+	}
 	return ms
 }
 
+// Resolved expands an embedded machine file: the File text is parsed
+// (errors wrap ErrBadMachineSpec) and the spec's own explicitly-set
+// fields override the file's directives, with an explicit Interconnect
+// also discarding the file's custom network. Specs without a File are
+// returned unchanged.
+func (ms MachineSpec) Resolved() (MachineSpec, error) {
+	if ms.File == "" {
+		return ms, nil
+	}
+	base, err := ParseMachineFile([]byte(ms.File))
+	if err != nil {
+		return MachineSpec{}, err
+	}
+	if ms.Name != "" {
+		base.Name = ms.Name
+	}
+	if ms.Interconnect != "" {
+		base.Interconnect = ms.Interconnect
+		base.Network = nil
+	}
+	if ms.Network != nil {
+		base.Network = ms.Network
+	}
+	if ms.ComputeScale != 0 {
+		base.ComputeScale = ms.ComputeScale
+	}
+	if ms.Seed != 0 {
+		base.Seed = ms.Seed
+	}
+	if ms.Repeats != 0 {
+		base.Repeats = ms.Repeats
+	}
+	if ms.Quick {
+		base.Quick = true
+	}
+	if ms.SerializeSends {
+		base.SerializeSends = true
+	}
+	return base, nil
+}
+
+// Fingerprint returns a content-derived identity of the spec: a hash of
+// its normalized JSON form, stable across field ordering and default
+// spelling, and blind to the cosmetic display Name (a rename is the
+// same platform). The serving layer keys its machine cache on it, which
+// is what lets calibrated and file-defined machines share the capped
+// cache with the presets. Resolve embedded Files first; an unresolved
+// File is fingerprinted as opaque text.
+func (ms MachineSpec) Fingerprint() string {
+	n := ms.Normalized()
+	n.Name = ""
+	b, err := json.Marshal(n)
+	if err != nil {
+		// Only non-finite floats (NaN scale or segment values — already
+		// invalid as a machine) can fail Marshal; fall back to a verbose
+		// but still deterministic pointer-free rendering rather than
+		// panic (%#v on the struct itself would print the Network
+		// pointer's address).
+		var net NetworkSpec
+		if n.Network != nil {
+			net = *n.Network
+		}
+		n.Network = nil
+		b = []byte(fmt.Sprintf("%#v|%#v", n, net))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
 // Options translates the spec into NewMachine options. Validation (an
-// unknown interconnect, a non-positive repeat count) surfaces from
-// NewMachine as the usual typed errors.
+// unknown interconnect, a malformed custom network or embedded file, a
+// non-positive repeat count) surfaces from NewMachine as the usual
+// typed errors.
 func (ms MachineSpec) Options() []MachineOption {
+	if ms.File != "" {
+		r, err := ms.Resolved()
+		if err != nil {
+			return []MachineOption{func(*Machine) error { return err }}
+		}
+		return r.Options()
+	}
 	ms = ms.Normalized()
-	opts := []MachineOption{
-		WithInterconnect(ms.Interconnect),
-		WithSeed(ms.Seed),
+	var opts []MachineOption
+	if ms.Network != nil {
+		opts = append(opts, WithNetworkSpec(*ms.Network))
+	} else {
+		opts = append(opts, WithInterconnect(ms.Interconnect))
+	}
+	opts = append(opts, WithSeed(ms.Seed))
+	if ms.Name != "" {
+		opts = append(opts, WithName(ms.Name))
+	}
+	if ms.ComputeScale != 1 {
+		opts = append(opts, WithComputeScale(ms.ComputeScale))
 	}
 	if ms.Quick {
 		opts = append(opts, WithQuick())
@@ -224,6 +352,108 @@ func (r SweepRequest) Grid() (SweepOp, []*Scenario, error) {
 		}
 	}
 	return op, grid, nil
+}
+
+// SynthSpec asks the serving layer to self-generate a calibration
+// dataset from the request's machine instead of being handed
+// measurements: the (deck × PE) grid is measured through the simulator
+// (op "simulate", the default — noisy, partition-aware "measured" times)
+// or the analytic model (op "predict" — noiseless and exactly linear in
+// the machine parameters).
+type SynthSpec struct {
+	Op    string   `json:"op,omitempty"`    // simulate (default) | predict
+	Decks []string `json:"decks,omitempty"` // default ["small"]
+	PEs   []int    `json:"pes,omitempty"`   // default [2,4,8,16,32]
+}
+
+// Normalized returns the spec with defaults filled in.
+func (sy SynthSpec) Normalized() SynthSpec {
+	if sy.Op == "" {
+		sy.Op = "simulate"
+	}
+	if len(sy.Decks) == 0 {
+		sy.Decks = []string{"small"}
+	}
+	if len(sy.PEs) == 0 {
+		sy.PEs = []int{2, 4, 8, 16, 32}
+	}
+	return sy
+}
+
+// CalibrateRequest is the body of POST /v1/calibrate. Exactly one
+// measurement source must be given: Dataset (a textual measurement file,
+// the ParseDataset format), Observations (the same measurements in
+// JSON), or Synth (self-generated runs on the request's machine).
+type CalibrateRequest struct {
+	Dataset      string        `json:"dataset,omitempty"`
+	Observations []Observation `json:"observations,omitempty"`
+	Synth        *SynthSpec    `json:"synth,omitempty"`
+
+	// Folds enables k-fold cross-validation when >= 2.
+	Folds int `json:"folds,omitempty"`
+
+	// Model selects the feature model: general-homo (default) or
+	// general-het.
+	Model string `json:"model,omitempty"`
+
+	Machine MachineSpec `json:"machine,omitempty"`
+}
+
+// Normalized returns the request with defaults filled in.
+func (r CalibrateRequest) Normalized() CalibrateRequest {
+	if r.Model == "" {
+		r.Model = "general-homo"
+	}
+	if r.Synth != nil {
+		sy := r.Synth.Normalized()
+		r.Synth = &sy
+	}
+	r.Machine = r.Machine.Normalized()
+	return r
+}
+
+// Scenario validates the request and builds the Scenario a calibrating
+// Session uses (the feature-model choice).
+func (r CalibrateRequest) Scenario() (*Scenario, error) {
+	r = r.Normalized()
+	model, err := ParseModel(r.Model)
+	if err != nil {
+		return nil, err
+	}
+	return NewScenario(WithModel(model))
+}
+
+// Materialize produces the request's dataset: parsing Dataset text,
+// adopting Observations, or synthesizing measurements on the session's
+// machine. Requests with zero or several sources return ErrCalibration.
+func (r CalibrateRequest) Materialize(ctx context.Context, s *Session) (*Dataset, error) {
+	r = r.Normalized()
+	sources := 0
+	if r.Dataset != "" {
+		sources++
+	}
+	if len(r.Observations) > 0 {
+		sources++
+	}
+	if r.Synth != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("%w: exactly one of dataset, observations, or synth must be given (got %d)",
+			ErrCalibration, sources)
+	}
+	switch {
+	case r.Dataset != "":
+		return ParseDataset([]byte(r.Dataset))
+	case len(r.Observations) > 0:
+		return &Dataset{Name: "wire", Observations: r.Observations}, nil
+	default:
+		op, err := ParseSweepOp(r.Synth.Op)
+		if err != nil {
+			return nil, err
+		}
+		return s.SynthesizeDataset(ctx, op, r.Synth.Decks, r.Synth.PEs)
+	}
 }
 
 // MachineInfo is one entry of GET /v1/machines: an interconnect preset

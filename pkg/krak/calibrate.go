@@ -1,0 +1,451 @@
+package krak
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"krak/internal/calib"
+	"krak/internal/core"
+	"krak/internal/netmodel"
+	"krak/internal/stats"
+	"krak/internal/textplot"
+)
+
+// This file is the calibration entry point of the façade: it turns a
+// timing dataset (measured on a real or simulated cluster) into fitted
+// machine parameters — a compute-rate multiplier relative to the ES45
+// baseline, effective network latency and bandwidth, and a fixed
+// per-iteration overhead — by reducing each observation to baseline-model
+// features and least-squares fitting them in internal/calib. The fitted
+// machine comes back both as reportable parameters (with standard errors,
+// R², and optional k-fold cross-validation) and as a ready-to-use
+// MachineSpec/machine file, closing the loop: measure, calibrate, then
+// predict on the machine the fit described.
+
+// Observation is one measured run of a standard deck: the wire and
+// dataset-file form of a timing measurement.
+type Observation struct {
+	Deck    string  `json:"deck"`
+	PEs     int     `json:"pes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Dataset is a named measurement campaign: what Session.Calibrate fits.
+type Dataset struct {
+	Name         string        `json:"name,omitempty"`
+	Observations []Observation `json:"observations"`
+}
+
+// ParseDataset parses the textual measurement format (see internal/calib:
+// "dataset NAME" and "obs DECK PES SECONDS" lines, '#' comments) into a
+// Dataset. Malformed input returns ErrCalibration.
+func ParseDataset(src []byte) (*Dataset, error) {
+	ds, err := calib.ParseDataset(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCalibration, err)
+	}
+	out := &Dataset{Name: ds.Name}
+	for _, o := range ds.Obs {
+		out.Observations = append(out.Observations, Observation(o))
+	}
+	return out, nil
+}
+
+// Format renders the dataset back into the textual measurement format
+// ParseDataset reads.
+func (d *Dataset) Format() []byte {
+	cd := calib.Dataset{Name: d.Name}
+	for _, o := range d.Observations {
+		cd.Obs = append(cd.Obs, calib.Observation(o))
+	}
+	return cd.Format()
+}
+
+// CalibrateOptions tunes Session.Calibrate.
+type CalibrateOptions struct {
+	// Folds enables k-fold cross-validation of the fit when >= 2; 0
+	// disables it. Values outside [2, len(observations)] are rejected.
+	Folds int
+}
+
+// FitParams are fitted machine parameters (or their standard errors) in
+// model units: seconds, and a unitless compute multiplier.
+type FitParams struct {
+	// ComputeScale multiplies the baseline ES45 computation rates.
+	ComputeScale float64 `json:"compute_scale"`
+
+	// LatencySeconds is the effective per-message latency.
+	LatencySeconds float64 `json:"latency_s"`
+
+	// SecondsPerByte is the effective per-byte wire cost (1/bandwidth).
+	SecondsPerByte float64 `json:"s_per_byte"`
+
+	// FixedSeconds is the fixed per-iteration overhead.
+	FixedSeconds float64 `json:"fixed_s"`
+}
+
+// CVReport is the k-fold cross-validation block of a CalibrationResult.
+type CVReport struct {
+	Folds       int     `json:"folds"`
+	RMSESeconds float64 `json:"rmse_s"`
+	MAPE        float64 `json:"mape"`
+	MaxAPE      float64 `json:"max_ape"`
+}
+
+// CalibrationPoint is one observation's share of the fit: observed vs
+// fitted seconds, with the paper's (measured-predicted)/measured error
+// convention.
+type CalibrationPoint struct {
+	Deck            string  `json:"deck"`
+	PEs             int     `json:"pes"`
+	ObservedSeconds float64 `json:"observed_s"`
+	FittedSeconds   float64 `json:"fitted_s"`
+	RelErr          float64 `json:"rel_err"`
+}
+
+// CalibrationResult reports a Session.Calibrate run: the fitted machine
+// parameters with per-parameter standard errors, the fit quality,
+// optional cross-validation, every observation's residual, and the
+// fitted machine as a MachineSpec ready for LoadMachine / -machine-file
+// / wire requests.
+type CalibrationResult struct {
+	Dataset      string   `json:"dataset,omitempty"`
+	Observations int      `json:"observations"`
+	Model        string   `json:"model"`
+	Terms        []string `json:"terms"`
+
+	Params FitParams `json:"params"`
+	StdErr FitParams `json:"stderr"`
+
+	R2          float64 `json:"r2"`
+	RMSESeconds float64 `json:"rmse_s"`
+
+	CV *CVReport `json:"cv,omitempty"`
+
+	Points []CalibrationPoint `json:"points"`
+
+	// Fitted is the calibrated machine: a single-segment network at the
+	// fitted latency/bandwidth plus the fitted compute scale, carrying
+	// the calibrating machine's seed and quick mode. Parameters are
+	// clamped into the machine-file ranges (non-negative latency,
+	// positive scale).
+	Fitted MachineSpec `json:"fitted_machine"`
+}
+
+// CalibrationSchema identifies the JSON layout CalibrationResult
+// marshals to.
+const CalibrationSchema = "krak.calibration/v1"
+
+// MarshalJSON renders the calibration for machine consumption (the CLI's
+// --json flag and /v1/calibrate), stamping the schema identifier.
+func (cr *CalibrationResult) MarshalJSON() ([]byte, error) {
+	type alias CalibrationResult
+	return json.Marshal(struct {
+		Schema string `json:"schema"`
+		*alias
+	}{Schema: CalibrationSchema, alias: (*alias)(cr)})
+}
+
+// UnmarshalJSON decodes a CalibrationResult produced by MarshalJSON,
+// rejecting payloads whose schema stamp is not CalibrationSchema with
+// ErrSchema.
+func (cr *CalibrationResult) UnmarshalJSON(data []byte) error {
+	type alias CalibrationResult
+	aux := struct {
+		Schema string `json:"schema"`
+		*alias
+	}{alias: (*alias)(cr)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.Schema != CalibrationSchema {
+		return fmt.Errorf("%w: got %q, want %q", ErrSchema, aux.Schema, CalibrationSchema)
+	}
+	return nil
+}
+
+// Render formats the calibration for a terminal, mirroring the JSON
+// content and appending the fitted machine file.
+func (cr *CalibrationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Calibration of %d observations", cr.Observations)
+	if cr.Dataset != "" {
+		fmt.Fprintf(&b, " (dataset %s)", cr.Dataset)
+	}
+	fmt.Fprintf(&b, " under the %s model\n\n", cr.Model)
+
+	bw := "inf"
+	if cr.Params.SecondsPerByte > 0 {
+		bw = fmt.Sprintf("%.1f MB/s", 1/(cr.Params.SecondsPerByte*1e6))
+	}
+	rows := [][]string{
+		{"compute scale", fmt.Sprintf("%.4f", cr.Params.ComputeScale),
+			fmt.Sprintf("%.2g", cr.StdErr.ComputeScale), "x ES45 baseline"},
+		{"latency", fmt.Sprintf("%.3f us", cr.Params.LatencySeconds*1e6),
+			fmt.Sprintf("%.2g us", cr.StdErr.LatencySeconds*1e6), "per message"},
+		{"bandwidth", bw,
+			fmt.Sprintf("%.2g s/B", cr.StdErr.SecondsPerByte),
+			fmt.Sprintf("%.3g s/B", cr.Params.SecondsPerByte)},
+		{"fixed overhead", fmt.Sprintf("%.4f ms", cr.Params.FixedSeconds*1e3),
+			fmt.Sprintf("%.2g ms", cr.StdErr.FixedSeconds*1e3), "per iteration"},
+	}
+	b.WriteString(textplot.Table([]string{"Parameter", "Fitted", "Std err", "Note"}, rows))
+	fmt.Fprintf(&b, "\nFit (terms: %s): R^2 %.6f, RMSE %.4f ms\n",
+		strings.Join(cr.Terms, "+"), cr.R2, cr.RMSESeconds*1e3)
+	if cr.CV != nil {
+		fmt.Fprintf(&b, "Cross-validation (k=%d): RMSE %.4f ms, MAPE %s (max %s)\n",
+			cr.CV.Folds, cr.CV.RMSESeconds*1e3, stats.FormatPct(cr.CV.MAPE), stats.FormatPct(cr.CV.MaxAPE))
+	}
+
+	b.WriteByte('\n')
+	var prow [][]string
+	for _, pt := range cr.Points {
+		prow = append(prow, []string{
+			pt.Deck,
+			fmt.Sprintf("%d", pt.PEs),
+			fmt.Sprintf("%.3f", pt.ObservedSeconds*1e3),
+			fmt.Sprintf("%.3f", pt.FittedSeconds*1e3),
+			stats.FormatPct(pt.RelErr),
+		})
+	}
+	b.WriteString(textplot.Table([]string{"Deck", "PEs", "Observed (ms)", "Fitted (ms)", "Err"}, prow))
+
+	fmt.Fprintf(&b, "\nFitted machine file:\n")
+	for _, line := range strings.Split(strings.TrimSuffix(string(FormatMachineFile(cr.Fitted)), "\n"), "\n") {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	return b.String()
+}
+
+// The unit probe networks feature extraction evaluates the model at: one
+// second per message isolates the message count, one second per byte
+// isolates the byte volume.
+var (
+	probeLatencyNet = netmodel.MustNew("probe-latency", []netmodel.Segment{{MinBytes: 0, Latency: 1}})
+	probeByteNet    = netmodel.MustNew("probe-bytes", []netmodel.Segment{{MinBytes: 0, PerByte: 1}})
+)
+
+// featureMode maps the session's model choice onto the general model's
+// material mode; calibration features come from the general model, so
+// mesh-specific sessions are rejected.
+func featureMode(m Model) (core.MaterialMode, error) {
+	switch m {
+	case GeneralHomogeneous:
+		return core.Homogeneous, nil
+	case GeneralHeterogeneous:
+		return core.Heterogeneous, nil
+	}
+	return 0, fmt.Errorf("%w: calibration features need a general model (general-homo or general-het), not %v",
+		ErrCalibration, m)
+}
+
+// features reduces each observation to its baseline-model features:
+// baseline-predicted compute seconds, modeled message count, and modeled
+// wire bytes, computed against the reference ES45 rates in the machine's
+// feature environment (see Machine.featureEnv) so a custom or scaled
+// machine is fitted relative to the common baseline.
+func (s *Session) features(ctx context.Context, obs []Observation) ([]calib.Features, error) {
+	mode, err := featureMode(s.sc.model)
+	if err != nil {
+		return nil, err
+	}
+	fenv := s.m.featureEnv()
+	cal, err := fenv.ContrivedCalibration()
+	if err != nil {
+		return nil, fmt.Errorf("krak: baseline calibration: %w", err)
+	}
+	cache := map[string]calib.Features{}
+	out := make([]calib.Features, len(obs))
+	for i, o := range obs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("%s/%d", o.Deck, o.PEs)
+		if f, ok := cache[key]; ok {
+			out[i] = f
+			continue
+		}
+		size, err := deckSizeByName(o.Deck)
+		if err != nil {
+			return nil, fmt.Errorf("%w: observation %d: %v", ErrCalibration, i, err)
+		}
+		d, err := fenv.Deck(size)
+		if err != nil {
+			return nil, fmt.Errorf("krak: feature deck %s: %w", o.Deck, err)
+		}
+		cells := d.Mesh.NumCells()
+		pL, err := core.NewGeneral(cal, probeLatencyNet, mode).Predict(cells, o.PEs)
+		if err != nil {
+			return nil, fmt.Errorf("krak: feature model at %s/%d: %w", o.Deck, o.PEs, err)
+		}
+		pB, err := core.NewGeneral(cal, probeByteNet, mode).Predict(cells, o.PEs)
+		if err != nil {
+			return nil, fmt.Errorf("krak: feature model at %s/%d: %w", o.Deck, o.PEs, err)
+		}
+		f := calib.Features{
+			Compute:  pL.Compute(),
+			Messages: pL.Communication(),
+			Bytes:    pB.Communication(),
+		}
+		cache[key] = f
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Calibrate fits machine parameters to the dataset's observations (see
+// the package-level calibration overview on CalibrationResult): each
+// observation is reduced to baseline features of the session's general
+// model variant and the linear timing model is least-squares fitted in
+// internal/calib. Fitting is deterministic for a fixed machine and
+// dataset, so the rendered and JSON outputs are byte-stable. Invalid
+// datasets, unknown decks, mesh-specific sessions, bad fold counts, and
+// degenerate fits return ErrCalibration.
+func (s *Session) Calibrate(ctx context.Context, ds *Dataset, opt CalibrateOptions) (*CalibrationResult, error) {
+	if ds == nil || len(ds.Observations) == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrCalibration)
+	}
+	if len(ds.Observations) > calib.MaxObservations {
+		return nil, fmt.Errorf("%w: %d observations, max %d",
+			ErrCalibration, len(ds.Observations), calib.MaxObservations)
+	}
+	times := make([]float64, len(ds.Observations))
+	for i, o := range ds.Observations {
+		if o.PEs <= 0 {
+			return nil, fmt.Errorf("%w: observation %d: processor count %d", ErrCalibration, i, o.PEs)
+		}
+		if math.IsNaN(o.Seconds) || math.IsInf(o.Seconds, 0) || o.Seconds <= 0 {
+			return nil, fmt.Errorf("%w: observation %d: seconds %g", ErrCalibration, i, o.Seconds)
+		}
+		times[i] = o.Seconds
+	}
+	if opt.Folds != 0 && (opt.Folds < 2 || opt.Folds > len(ds.Observations)) {
+		return nil, fmt.Errorf("%w: %d folds for %d observations", ErrCalibration, opt.Folds, len(ds.Observations))
+	}
+
+	feats, err := s.features(ctx, ds.Observations)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := calib.Fit(times, feats)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCalibration, err)
+	}
+
+	cr := &CalibrationResult{
+		Dataset:      ds.Name,
+		Observations: len(ds.Observations),
+		Model:        s.sc.model.String(),
+		Terms:        fr.Terms,
+		Params:       fitParams(fr.Params),
+		StdErr:       fitParams(fr.StdErr),
+		R2:           fr.R2,
+		RMSESeconds:  fr.RMSE,
+		Fitted:       s.fittedSpec(fr.Params),
+	}
+	for i, o := range ds.Observations {
+		fitted := fr.Params.Predict(feats[i])
+		cr.Points = append(cr.Points, CalibrationPoint{
+			Deck:            o.Deck,
+			PEs:             o.PEs,
+			ObservedSeconds: o.Seconds,
+			FittedSeconds:   fitted,
+			RelErr:          stats.RelErr(o.Seconds, fitted),
+		})
+	}
+	if opt.Folds >= 2 {
+		cv, err := calib.CrossValidate(times, feats, opt.Folds, s.m.Seed())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCalibration, err)
+		}
+		cr.CV = &CVReport{Folds: cv.Folds, RMSESeconds: cv.RMSE, MAPE: cv.MAPE, MaxAPE: cv.MaxAPE}
+	}
+	return cr, nil
+}
+
+func fitParams(p calib.Params) FitParams {
+	return FitParams{
+		ComputeScale:   p.ComputeScale,
+		LatencySeconds: p.LatencySec,
+		SecondsPerByte: p.ByteSec,
+		FixedSeconds:   p.FixedSec,
+	}
+}
+
+// fittedSpec converts fitted parameters into a usable machine: a
+// single-segment network at the fitted latency/bandwidth plus the fitted
+// compute scale, clamped into the machine-file ranges.
+func (s *Session) fittedSpec(p calib.Params) MachineSpec {
+	latUS := p.LatencySec * 1e6
+	if !(latUS > 0) {
+		latUS = 0
+	} else if latUS > 1e9 {
+		latUS = 1e9
+	}
+	bwMBs := 0.0
+	if p.ByteSec > 0 {
+		bwMBs = 1 / (p.ByteSec * 1e6)
+		if bwMBs > 1e9 {
+			bwMBs = 1e9
+		}
+	}
+	scale := p.ComputeScale
+	if !(scale > 0) {
+		scale = 1
+	} else if scale > 1e6 {
+		scale = 1e6
+	}
+	spec := MachineSpec{
+		Name:           "calibrated",
+		Network:        &NetworkSpec{Name: "calibrated", Segments: []SegmentSpec{{MinBytes: 0, LatencyUS: latUS, BandwidthMBs: bwMBs}}},
+		ComputeScale:   scale,
+		Seed:           s.m.Seed(),
+		Quick:          s.m.Quick(),
+		SerializeSends: s.m.serialize,
+	}
+	if s.m.repeatsSet {
+		spec.Repeats = s.m.env.Repeats
+	}
+	return spec.Normalized()
+}
+
+// SynthesizeDataset measures the session's machine over the (deck × PE)
+// grid — SweepSimulate runs the discrete-event cluster simulator at every
+// point ("measured" times with noise and real partitions), SweepPredict
+// evaluates the analytic model (noiseless, exactly linear in the machine
+// parameters) — and returns the observations as a Dataset ready for
+// Calibrate or Format. Empty decks/pes default to the sweep defaults.
+// The grid runs concurrently on the machine's worker pool and is bounded
+// by MaxSweepPoints.
+func (s *Session) SynthesizeDataset(ctx context.Context, op SweepOp, decks []string, pes []int) (*Dataset, error) {
+	req := SweepRequest{
+		Op:          string(op),
+		Decks:       decks,
+		PEs:         pes,
+		Model:       s.sc.model.String(),
+		Partitioner: s.sc.partitioner,
+	}
+	if s.sc.iterations > 0 {
+		req.Iterations = s.sc.iterations
+	}
+	sweepOp, grid, err := req.Grid()
+	if err != nil {
+		return nil, err
+	}
+	sr, err := s.Sweep(ctx, sweepOp, grid)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Name: "synth-" + string(sweepOp)}
+	for _, pt := range sr.Points {
+		ds.Observations = append(ds.Observations, Observation{
+			Deck:    pt.Deck,
+			PEs:     pt.PEs,
+			Seconds: pt.Result.TotalSeconds,
+		})
+	}
+	return ds, nil
+}

@@ -11,10 +11,13 @@
 //     worker pool runs (WithParallelism; as wide as the hardware by
 //     default). QsNetCluster returns the paper's AlphaServer ES45 /
 //     QsNet-I cluster; GigECluster and InfinibandCluster are the what-if
-//     presets. A Machine memoizes decks, partitions, and calibrations in
-//     single-flight caches, so concurrent work shares artifacts instead
-//     of recomputing them — reuse one Machine whenever the platform is
-//     the same.
+//     presets. Arbitrary platforms come from declarative machine files
+//     (LoadMachine / ParseMachineFile: custom piecewise networks via
+//     WithNetworkSpec, compute rates via WithComputeScale) or from
+//     calibration (below). A Machine memoizes decks, partitions, and
+//     calibrations in single-flight caches, so concurrent work shares
+//     artifacts instead of recomputing them — reuse one Machine whenever
+//     the platform is the same.
 //
 //   - A Scenario describes the workload: which input deck, how many
 //     processors, which model variant, which partitioner, built with
@@ -24,9 +27,13 @@
 //   - A Session binds the two and answers questions: Predict evaluates the
 //     analytic model, Simulate runs the cluster simulator ("measures"),
 //     RunHydro executes the actual mini-app, Partition reports partition
-//     quality, Experiment regenerates a paper table or figure, and
+//     quality, Experiment regenerates a paper table or figure,
 //     Experiments regenerates a batch of them concurrently on the
-//     machine's pool.
+//     machine's pool, and Calibrate fits machine parameters (compute
+//     scale, latency, bandwidth, fixed overhead) to a timing Dataset —
+//     measured elsewhere or self-generated with SynthesizeDataset —
+//     returning a CalibrationResult whose Fitted MachineSpec feeds
+//     straight back into NewMachine.
 //
 // Session methods return a unified *Result carrying typed per-phase
 // breakdowns, partition or hydro diagnostics, and both human-readable
@@ -60,17 +67,21 @@
 //
 // # Serving
 //
-// `krak serve` exposes Predict, Simulate, Sweep, and the experiment
-// registry as a long-running HTTP service. This package carries the
-// service's wire types so clients and server share one schema:
-// PredictRequest, SimulateRequest, and SweepRequest are the POST bodies
-// (each with Normalized defaults and a Scenario/Grid constructor),
-// MachineSpec selects the platform, and Result/SweepResult round-trip
-// through MarshalJSON/UnmarshalJSON with a schema stamp (ResultSchema,
-// SweepSchema) that UnmarshalJSON enforces via ErrSchema. A /v1/predict
-// response is byte-identical to `krak predict --json` for the same
-// scenario. See docs/ARCHITECTURE.md's Serving section for the endpoint
-// table and the caching/batching data flow.
+// `krak serve` exposes Predict, Simulate, Sweep, Calibrate, and the
+// experiment registry as a long-running HTTP service. This package
+// carries the service's wire types so clients and server share one
+// schema: PredictRequest, SimulateRequest, SweepRequest, and
+// CalibrateRequest are the POST bodies (each with Normalized defaults
+// and a Scenario/Grid/Materialize constructor), MachineSpec selects the
+// platform (preset, custom network, compute scale, or an embedded
+// machine file; Fingerprint is its content identity), and
+// Result/SweepResult/CalibrationResult round-trip through
+// MarshalJSON/UnmarshalJSON with a schema stamp (ResultSchema,
+// SweepSchema, CalibrationSchema) that UnmarshalJSON enforces via
+// ErrSchema. A /v1/predict response is byte-identical to `krak predict
+// --json` for the same scenario, and /v1/calibrate to `krak calibrate
+// --json`. See docs/ARCHITECTURE.md's Serving and Calibration sections
+// for the endpoint table and data flows.
 //
 // Everything under internal/ is unstable implementation detail; new code
 // should depend only on this package. docs/ARCHITECTURE.md maps the

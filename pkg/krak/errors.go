@@ -36,6 +36,18 @@ var (
 	// format does not parse.
 	ErrBadDeckSpec = errors.New("krak: invalid deck spec")
 
+	// ErrBadMachineSpec is returned by ParseMachineFile, NetworkSpec
+	// validation, and the machine options built on them when a declarative
+	// machine description (a -machine-file, a wire MachineSpec's custom
+	// network or embedded file) is malformed.
+	ErrBadMachineSpec = errors.New("krak: invalid machine spec")
+
+	// ErrCalibration is returned by Session.Calibrate and the dataset
+	// plumbing behind it when a calibration cannot run: an empty or
+	// malformed dataset, an observation referencing an unknown deck, an
+	// unsupported feature model, or a degenerate fit.
+	ErrCalibration = errors.New("krak: calibration error")
+
 	// ErrSchema is returned by Result.UnmarshalJSON when the payload's
 	// schema stamp is not ResultSchema — the guard that keeps clients of
 	// `krak serve` from silently decoding an incompatible layout.

@@ -117,6 +117,74 @@ func TestTypedErrors(t *testing.T) {
 			_, err := NewScenario(WithDeckSpec([]byte("grid nope\n")))
 			return err
 		}, ErrBadDeckSpec},
+		{"bad machine file", func() error {
+			_, err := ParseMachineFile([]byte("warp-drive on\n"))
+			return err
+		}, ErrBadMachineSpec},
+		{"bad machine file via LoadMachine", func() error {
+			_, err := LoadMachine([]byte("interconnect tokenring\n"))
+			return err
+		}, ErrBadMachineSpec},
+		{"empty custom network", func() error {
+			_, err := NewMachine(WithNetworkSpec(NetworkSpec{}))
+			return err
+		}, ErrBadMachineSpec},
+		{"bad network segment via spec", func() error {
+			ns := &NetworkSpec{Segments: []SegmentSpec{{MinBytes: 0, LatencyUS: -4}}}
+			_, err := NewMachine(MachineSpec{Network: ns}.Options()...)
+			return err
+		}, ErrBadMachineSpec},
+		{"bad embedded machine file", func() error {
+			_, err := MachineSpec{File: "segment 0 1 1\n"}.Resolved()
+			return err
+		}, ErrBadMachineSpec},
+		{"bad compute scale", func() error {
+			_, err := NewMachine(WithComputeScale(0))
+			return err
+		}, ErrBadOption},
+		{"bad dataset text", func() error {
+			_, err := ParseDataset([]byte("obs small 2 minus\n"))
+			return err
+		}, ErrCalibration},
+		{"empty calibration dataset", func() error {
+			s := mustQuickSession(t)
+			_, err := s.Calibrate(context.Background(), &Dataset{}, CalibrateOptions{})
+			return err
+		}, ErrCalibration},
+		{"calibration unknown deck", func() error {
+			s := mustQuickSession(t)
+			ds := &Dataset{Observations: []Observation{{Deck: "mega", PEs: 2, Seconds: 1}}}
+			_, err := s.Calibrate(context.Background(), ds, CalibrateOptions{})
+			return err
+		}, ErrCalibration},
+		{"calibration bad folds", func() error {
+			s := mustQuickSession(t)
+			ds := &Dataset{Observations: []Observation{{Deck: "small", PEs: 2, Seconds: 1}}}
+			_, err := s.Calibrate(context.Background(), ds, CalibrateOptions{Folds: 7})
+			return err
+		}, ErrCalibration},
+		{"calibration mesh-specific session", func() error {
+			m, err := NewMachine(WithQuick())
+			if err != nil {
+				return err
+			}
+			sc, err := NewScenario(WithModel(MeshSpecific))
+			if err != nil {
+				return err
+			}
+			s, err := NewSession(m, sc)
+			if err != nil {
+				return err
+			}
+			ds := &Dataset{Observations: []Observation{{Deck: "small", PEs: 2, Seconds: 1}}}
+			_, err = s.Calibrate(context.Background(), ds, CalibrateOptions{})
+			return err
+		}, ErrCalibration},
+		{"calibrate request without source", func() error {
+			s := mustQuickSession(t)
+			_, err := CalibrateRequest{}.Materialize(context.Background(), s)
+			return err
+		}, ErrCalibration},
 		{"bad result schema", func() error {
 			var r Result
 			return r.UnmarshalJSON([]byte(`{"schema":"krak.result/v0","kind":"predict"}`))
@@ -124,6 +192,10 @@ func TestTypedErrors(t *testing.T) {
 		{"bad sweep schema", func() error {
 			var sr SweepResult
 			return sr.UnmarshalJSON([]byte(`{"schema":"krak.sweep/v0"}`))
+		}, ErrSchema},
+		{"bad calibration schema", func() error {
+			var cr CalibrationResult
+			return cr.UnmarshalJSON([]byte(`{"schema":"krak.calibration/v0"}`))
 		}, ErrSchema},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,54 @@
+package krak
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMachineFile asserts the no-panic contract of the machine-file
+// parser (mirroring mesh.FuzzParseDeck): any input either parses into a
+// spec that builds a Machine, or is rejected with an error — never a
+// panic — and every accepted spec survives a FormatMachineFile round
+// trip with its content fingerprint intact. Checked-in seeds live in
+// testdata/fuzz/FuzzParseMachineFile; run with
+//
+//	go test -fuzz FuzzParseMachineFile ./pkg/krak
+func FuzzParseMachineFile(f *testing.F) {
+	seeds := []string{
+		"machine lab\ninterconnect gige\nseed 7\nrepeats 3\nquick\n",
+		"network myri\nsegment 0 9.5 120\nsegment 4096 15 240\n",
+		"compute-scale 1.5\nserialize-sends\n",
+		"# comment only\n",
+		"interconnect tokenring\n",
+		"network x\nsegment 64 1 1\n",
+		"segment 0 1 1\n",
+		"compute-scale NaN\n",
+		"seed 99999999999999999999\n",
+		"machine " + strings.Repeat("m", 100) + "\n",
+		"network x\n" + strings.Repeat("segment 0 1 1\n", 70),
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		ms, err := ParseMachineFile(src)
+		if err != nil {
+			return
+		}
+		// Accepted specs must build: the parser promises a buildable
+		// machine, and construction is cheap (no artifact computation).
+		if _, err := NewMachine(ms.Options()...); err != nil {
+			t.Fatalf("parsed spec does not build: %v\n%+v", err, ms)
+		}
+		// And round-trip through the formatter with identity preserved.
+		text := FormatMachineFile(ms)
+		back, err := ParseMachineFile(text)
+		if err != nil {
+			t.Fatalf("formatted spec does not reparse: %v\n%s", err, text)
+		}
+		if back.Fingerprint() != ms.Fingerprint() {
+			t.Fatalf("fingerprint drifted through format/parse:\n%s", text)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package krak
 
 import (
 	"fmt"
+	"sync"
 
 	"krak/internal/compute"
 	"krak/internal/engine"
@@ -19,12 +20,19 @@ import (
 // so reuse one Machine across Sessions whenever the platform is the same.
 type Machine struct {
 	interconnect string
+	name         string
 	serialize    bool
 	quick        bool
 	repeatsSet   bool
+	computeScale float64
 
 	env  *experiments.Env
 	pool *engine.Pool
+
+	// featOnce/featEnv lazily build the baseline-rate environment
+	// Session.Calibrate extracts fit features in (see featureEnv).
+	featOnce sync.Once
+	featEnv  *experiments.Env
 }
 
 // MachineOption configures NewMachine.
@@ -40,6 +48,44 @@ func WithInterconnect(name string) MachineOption {
 		}
 		m.interconnect = name
 		m.env.Net = net
+		return nil
+	}
+}
+
+// WithNetworkSpec installs a custom piecewise interconnect in place of a
+// preset — the option behind machine files' network/segment directives
+// and the wire MachineSpec's network field. Invalid specs return
+// ErrBadMachineSpec.
+func WithNetworkSpec(ns NetworkSpec) MachineOption {
+	return func(m *Machine) error {
+		net, err := ns.Model()
+		if err != nil {
+			return err
+		}
+		m.interconnect = "custom"
+		m.env.Net = net
+		return nil
+	}
+}
+
+// WithComputeScale scales the machine's ground-truth computation cost
+// tables by f relative to the ES45 baseline: 2 is a processor half as
+// fast, 0.5 twice as fast. Calibration fits exactly this factor.
+func WithComputeScale(f float64) MachineOption {
+	return func(m *Machine) error {
+		if !(f > 0) || f > 1e6 {
+			return fmt.Errorf("%w: compute scale %g", ErrBadOption, f)
+		}
+		m.computeScale = f
+		return nil
+	}
+}
+
+// WithName sets the machine's display name (machine files' machine
+// directive).
+func WithName(name string) MachineOption {
+	return func(m *Machine) error {
+		m.name = name
 		return nil
 	}
 }
@@ -128,6 +174,14 @@ func NewMachine(opts ...MachineOption) (*Machine, error) {
 	if m.quick && !m.repeatsSet {
 		m.env.Repeats = 2
 	}
+	if m.computeScale == 0 {
+		m.computeScale = 1
+	}
+	if m.computeScale != 1 {
+		// Applied once, after all options, so option order cannot compound
+		// the scale.
+		m.env.Costs = m.env.Costs.Scaled(m.computeScale)
+	}
 	if m.pool == nil {
 		m.pool = engine.New(0) // GOMAXPROCS
 	}
@@ -177,6 +231,30 @@ func (m *Machine) Quick() bool { return m.quick }
 
 // Parallelism returns the worker-pool width Sweep and Experiments use.
 func (m *Machine) Parallelism() int { return m.pool.Workers() }
+
+// Name returns the machine's display name ("" unless set by WithName or
+// a machine file).
+func (m *Machine) Name() string { return m.name }
+
+// ComputeScale returns the machine's compute cost multiplier relative to
+// the ES45 baseline (1 unless WithComputeScale changed it).
+func (m *Machine) ComputeScale() float64 { return m.computeScale }
+
+// featureEnv returns the baseline-rate environment Session.Calibrate
+// computes fit features in: the reference ES45 cost tables regardless of
+// this machine's compute scale or network, with the machine's seed,
+// quick mode, and repeat count, so feature decks line up with the decks
+// the observations name. Built once and memoized.
+func (m *Machine) featureEnv() *experiments.Env {
+	m.featOnce.Do(func() {
+		e := experiments.NewEnv()
+		e.Seed = m.env.Seed
+		e.Quick = m.env.Quick
+		e.Repeats = m.env.Repeats
+		m.featEnv = e
+	})
+	return m.featEnv
+}
 
 // deckCalibration resolves the §3.1 least-squares deck calibration,
 // memoized per (deck, campaign) pair in the environment's single-flight

@@ -1,0 +1,314 @@
+package krak
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"krak/internal/netmodel"
+)
+
+// This file defines the declarative machine format: a bounded,
+// line-oriented textual spec (in the mold of the deck format behind
+// -deck-file) that describes an arbitrary cluster — interconnect
+// preset or custom piecewise network, compute rate relative to the
+// baseline, partitioner seed, repeat count — and parses into a
+// MachineSpec. It is how `krak calibrate` hands a fitted machine back
+// to the user, and how every subcommand's -machine-file flag and the
+// wire MachineSpec.File field load one.
+
+// MaxMachineFileBytes bounds the textual input ParseMachineFile accepts.
+const MaxMachineFileBytes = 1 << 20
+
+// MaxNetworkSegments bounds how many piecewise segments a custom network
+// may declare.
+const MaxNetworkSegments = 64
+
+// maxMachineToken bounds any single name token in a machine file.
+const maxMachineToken = 64
+
+// SegmentSpec is one piecewise segment of a custom interconnect, in the
+// human units machine files use: the segment applies to messages of at
+// least MinBytes, with start-up latency LatencyUS microseconds and
+// sustained bandwidth BandwidthMBs MB/s (0 = no per-byte cost).
+type SegmentSpec struct {
+	MinBytes     int     `json:"min_bytes"`
+	LatencyUS    float64 `json:"latency_us"`
+	BandwidthMBs float64 `json:"bandwidth_mbs"`
+}
+
+// NetworkSpec is a custom piecewise-linear interconnect: the declarative
+// form of a netmodel.Model, usable in machine files and wire requests in
+// place of an interconnect preset.
+type NetworkSpec struct {
+	Name     string        `json:"name,omitempty"`
+	Segments []SegmentSpec `json:"segments"`
+}
+
+// Model validates the spec and builds the network model it describes.
+func (ns NetworkSpec) Model() (*netmodel.Model, error) {
+	if len(ns.Segments) == 0 {
+		return nil, fmt.Errorf("%w: custom network has no segments", ErrBadMachineSpec)
+	}
+	if len(ns.Segments) > MaxNetworkSegments {
+		return nil, fmt.Errorf("%w: custom network has %d segments, max %d",
+			ErrBadMachineSpec, len(ns.Segments), MaxNetworkSegments)
+	}
+	name := ns.Name
+	if name == "" {
+		name = "custom"
+	}
+	segs := make([]netmodel.Segment, 0, len(ns.Segments))
+	for i, s := range ns.Segments {
+		if err := s.validate(); err != nil {
+			return nil, fmt.Errorf("%w: segment %d: %v", ErrBadMachineSpec, i, err)
+		}
+		seg := netmodel.Segment{MinBytes: s.MinBytes, Latency: s.LatencyUS * 1e-6}
+		if s.BandwidthMBs > 0 {
+			seg.PerByte = 1 / (s.BandwidthMBs * 1e6)
+		}
+		segs = append(segs, seg)
+	}
+	net, err := netmodel.New(name, segs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMachineSpec, err)
+	}
+	return net, nil
+}
+
+func (s SegmentSpec) validate() error {
+	if s.MinBytes < 0 || s.MinBytes > 1<<30 {
+		return fmt.Errorf("min bytes %d out of range [0, 2^30]", s.MinBytes)
+	}
+	if math.IsNaN(s.LatencyUS) || s.LatencyUS < 0 || s.LatencyUS > 1e9 {
+		return fmt.Errorf("latency %gus out of range [0, 1e9]", s.LatencyUS)
+	}
+	if math.IsNaN(s.BandwidthMBs) || s.BandwidthMBs < 0 || s.BandwidthMBs > 1e9 {
+		return fmt.Errorf("bandwidth %g MB/s out of range [0, 1e9]", s.BandwidthMBs)
+	}
+	return nil
+}
+
+// ParseMachineFile parses the textual machine format into a MachineSpec.
+// The format is line-oriented; '#' starts a comment and blank lines are
+// ignored. Directives:
+//
+//	machine NAME                      optional display name
+//	interconnect qsnet|gige|infiniband  preset network (default qsnet)
+//	network NAME                      begin a custom network instead
+//	segment MINBYTES LATENCY_US BW_MBS  one piecewise segment (after network)
+//	compute-scale F                   compute cost multiplier vs the
+//	                                  baseline ES45 tables (default 1)
+//	seed N                            partitioner seed
+//	repeats N                         measurement repeat count
+//	quick                             scaled-down decks and calibrations
+//	serialize-sends                   disable message overlap
+//
+// interconnect and network are mutually exclusive. ParseMachineFile never
+// panics on malformed input: every defect is reported as an error
+// wrapping ErrBadMachineSpec, and input size, token lengths, segment
+// counts, and numeric ranges are capped.
+func ParseMachineFile(src []byte) (MachineSpec, error) {
+	var ms MachineSpec
+	if len(src) > MaxMachineFileBytes {
+		return ms, fmt.Errorf("%w: machine file is %d bytes, max %d",
+			ErrBadMachineSpec, len(src), MaxMachineFileBytes)
+	}
+	p := machineParser{}
+	for i, raw := range strings.Split(string(src), "\n") {
+		line := raw
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(strings.TrimSuffix(line, "\r"))
+		if line == "" {
+			continue
+		}
+		if err := p.directive(i+1, strings.Fields(line)); err != nil {
+			return ms, err
+		}
+	}
+	return p.finish()
+}
+
+// machineParser accumulates machine-file directives.
+type machineParser struct {
+	ms              MachineSpec
+	hasInterconnect bool
+	network         *NetworkSpec
+}
+
+func lineErr(lineNo int, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrBadMachineSpec, lineNo, fmt.Sprintf(format, args...))
+}
+
+func (p *machineParser) directive(lineNo int, fields []string) error {
+	switch fields[0] {
+	case "machine":
+		if len(fields) != 2 {
+			return lineErr(lineNo, "want \"machine NAME\"")
+		}
+		if len(fields[1]) > maxMachineToken {
+			return lineErr(lineNo, "machine name exceeds %d bytes", maxMachineToken)
+		}
+		p.ms.Name = fields[1]
+	case "interconnect":
+		if len(fields) != 2 {
+			return lineErr(lineNo, "want \"interconnect NAME\"")
+		}
+		if p.network != nil {
+			return lineErr(lineNo, "interconnect and network are mutually exclusive")
+		}
+		if _, err := interconnectByName(fields[1]); err != nil {
+			return lineErr(lineNo, "unknown interconnect %q (qsnet|gige|infiniband)", fields[1])
+		}
+		p.ms.Interconnect = fields[1]
+		p.hasInterconnect = true
+	case "network":
+		if len(fields) != 2 {
+			return lineErr(lineNo, "want \"network NAME\"")
+		}
+		if p.hasInterconnect {
+			return lineErr(lineNo, "interconnect and network are mutually exclusive")
+		}
+		if p.network != nil {
+			return lineErr(lineNo, "duplicate network directive")
+		}
+		if len(fields[1]) > maxMachineToken {
+			return lineErr(lineNo, "network name exceeds %d bytes", maxMachineToken)
+		}
+		p.network = &NetworkSpec{Name: fields[1]}
+	case "segment":
+		if p.network == nil {
+			return lineErr(lineNo, "segment requires a preceding network directive")
+		}
+		if len(fields) != 4 {
+			return lineErr(lineNo, "want \"segment MINBYTES LATENCY_US BANDWIDTH_MBS\"")
+		}
+		if len(p.network.Segments) >= MaxNetworkSegments {
+			return lineErr(lineNo, "more than %d segments", MaxNetworkSegments)
+		}
+		minBytes, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return lineErr(lineNo, "min bytes %q must be an integer", fields[1])
+		}
+		lat, err1 := strconv.ParseFloat(fields[2], 64)
+		bw, err2 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil {
+			return lineErr(lineNo, "latency and bandwidth must be numbers")
+		}
+		seg := SegmentSpec{MinBytes: minBytes, LatencyUS: lat, BandwidthMBs: bw}
+		if err := seg.validate(); err != nil {
+			return lineErr(lineNo, "%v", err)
+		}
+		p.network.Segments = append(p.network.Segments, seg)
+	case "compute-scale":
+		if len(fields) != 2 {
+			return lineErr(lineNo, "want \"compute-scale F\"")
+		}
+		f, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || math.IsNaN(f) || f <= 0 || f > 1e6 {
+			return lineErr(lineNo, "compute scale %q must be in (0, 1e6]", fields[1])
+		}
+		p.ms.ComputeScale = f
+	case "seed":
+		if len(fields) != 2 {
+			return lineErr(lineNo, "want \"seed N\"")
+		}
+		n, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return lineErr(lineNo, "seed %q must be an unsigned integer", fields[1])
+		}
+		p.ms.Seed = n
+	case "repeats":
+		if len(fields) != 2 {
+			return lineErr(lineNo, "want \"repeats N\"")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 || n > 1e6 {
+			return lineErr(lineNo, "repeats %q must be in [1, 1e6]", fields[1])
+		}
+		p.ms.Repeats = n
+	case "quick":
+		if len(fields) != 1 {
+			return lineErr(lineNo, "quick takes no arguments")
+		}
+		p.ms.Quick = true
+	case "serialize-sends":
+		if len(fields) != 1 {
+			return lineErr(lineNo, "serialize-sends takes no arguments")
+		}
+		p.ms.SerializeSends = true
+	default:
+		return lineErr(lineNo, "unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+func (p *machineParser) finish() (MachineSpec, error) {
+	if p.network != nil {
+		// Validate the assembled network now, so a parse that succeeds
+		// always yields a buildable machine.
+		if _, err := p.network.Model(); err != nil {
+			return MachineSpec{}, err
+		}
+		p.ms.Network = p.network
+	}
+	return p.ms, nil
+}
+
+// FormatMachineFile renders a spec back into the textual machine format,
+// normalized; Format-then-Parse round-trips any spec a parse or a
+// calibration produced. Names that cannot survive the line-oriented
+// format (whitespace or '#') are omitted.
+func FormatMachineFile(ms MachineSpec) []byte {
+	ms = ms.Normalized()
+	var b strings.Builder
+	token := func(s string) bool {
+		return s != "" && len(s) <= maxMachineToken && !strings.ContainsAny(s, " \t\r\n#")
+	}
+	if token(ms.Name) {
+		fmt.Fprintf(&b, "machine %s\n", ms.Name)
+	}
+	if ms.Network != nil {
+		name := ms.Network.Name
+		if !token(name) {
+			name = "custom"
+		}
+		fmt.Fprintf(&b, "network %s\n", name)
+		for _, s := range ms.Network.Segments {
+			fmt.Fprintf(&b, "segment %d %s %s\n", s.MinBytes,
+				strconv.FormatFloat(s.LatencyUS, 'g', -1, 64),
+				strconv.FormatFloat(s.BandwidthMBs, 'g', -1, 64))
+		}
+	} else {
+		fmt.Fprintf(&b, "interconnect %s\n", ms.Interconnect)
+	}
+	if ms.ComputeScale != 1 {
+		fmt.Fprintf(&b, "compute-scale %s\n", strconv.FormatFloat(ms.ComputeScale, 'g', -1, 64))
+	}
+	fmt.Fprintf(&b, "seed %d\n", ms.Seed)
+	if ms.Repeats != 0 {
+		fmt.Fprintf(&b, "repeats %d\n", ms.Repeats)
+	}
+	if ms.Quick {
+		b.WriteString("quick\n")
+	}
+	if ms.SerializeSends {
+		b.WriteString("serialize-sends\n")
+	}
+	return []byte(b.String())
+}
+
+// LoadMachine parses src as the textual machine format and builds the
+// Machine it describes — the library-level counterpart of passing
+// -machine-file to a subcommand. Extra options (WithParallelism, an
+// overriding WithSeed, ...) are applied after the file's own directives.
+func LoadMachine(src []byte, extra ...MachineOption) (*Machine, error) {
+	ms, err := ParseMachineFile(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachine(append(ms.Options(), extra...)...)
+}

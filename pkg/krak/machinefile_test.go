@@ -1,0 +1,261 @@
+package krak
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseMachineFile(t *testing.T) {
+	src := []byte(`# a commodity what-if cluster
+machine lab-gige
+interconnect gige     # preset base
+compute-scale 1.5
+seed 7
+repeats 3
+quick
+serialize-sends
+`)
+	ms, err := ParseMachineFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MachineSpec{
+		Name: "lab-gige", Interconnect: "gige", ComputeScale: 1.5,
+		Seed: 7, Repeats: 3, Quick: true, SerializeSends: true,
+	}
+	if !reflect.DeepEqual(ms, want) {
+		t.Errorf("parsed %+v, want %+v", ms, want)
+	}
+
+	m, err := LoadMachine(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interconnect() != "gige" || m.Seed() != 7 || m.Repeats() != 3 ||
+		!m.Quick() || m.ComputeScale() != 1.5 || m.Name() != "lab-gige" {
+		t.Errorf("loaded machine drifted from the file: %s seed %d repeats %d quick %t scale %g name %q",
+			m.Interconnect(), m.Seed(), m.Repeats(), m.Quick(), m.ComputeScale(), m.Name())
+	}
+}
+
+func TestParseMachineFileCustomNetwork(t *testing.T) {
+	src := []byte(`machine slownet
+network myri
+segment 0 9.5 120
+segment 4096 15 240
+`)
+	ms, err := ParseMachineFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Network == nil || ms.Network.Name != "myri" || len(ms.Network.Segments) != 2 {
+		t.Fatalf("network not parsed: %+v", ms.Network)
+	}
+	net, err := ms.Network.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9.5us latency + 100 bytes at 120 MB/s, via the same runtime float
+	// ops the segment conversion performs (a constant expression would be
+	// folded exactly and disagree in the last bit).
+	lat, bw := 9.5, 120.0
+	want := lat*1e-6 + 100*(1/(bw*1e6))
+	if got := net.MsgTime(100); got != want {
+		t.Errorf("MsgTime(100) = %g, want %g", got, want)
+	}
+	m, err := LoadMachine(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interconnect() != "custom" || m.NetworkName() != "myri" {
+		t.Errorf("custom network machine: %s / %s", m.Interconnect(), m.NetworkName())
+	}
+}
+
+func TestParseMachineFileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown directive", "turbo on\n", "unknown directive"},
+		{"unknown interconnect", "interconnect tokenring\n", "unknown interconnect"},
+		{"both networks", "interconnect gige\nnetwork x\n", "mutually exclusive"},
+		{"both networks reversed", "network x\nsegment 0 1 1\ninterconnect gige\n", "mutually exclusive"},
+		{"orphan segment", "segment 0 1 1\n", "preceding network"},
+		{"empty network", "network x\n", "no segments"},
+		{"segment arity", "network x\nsegment 0 1\n", "want \"segment"},
+		{"nonzero first segment", "network x\nsegment 64 1 1\n", "must start at 0"},
+		{"duplicate boundary", "network x\nsegment 0 1 1\nsegment 0 2 2\n", "duplicate segment"},
+		{"negative latency", "network x\nsegment 0 -1 1\n", "latency"},
+		{"huge bandwidth", "network x\nsegment 0 1 1e12\n", "bandwidth"},
+		{"nan latency", "network x\nsegment 0 NaN 1\n", "latency"},
+		{"bad scale", "compute-scale -2\n", "compute scale"},
+		{"zero scale", "compute-scale 0\n", "compute scale"},
+		{"bad seed", "seed -1\n", "seed"},
+		{"bad repeats", "repeats 0\n", "repeats"},
+		{"quick args", "quick please\n", "no arguments"},
+		{"long name", "machine " + strings.Repeat("m", 65) + "\n", "exceeds 64 bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMachineFile([]byte(tc.src))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !errors.Is(err, ErrBadMachineSpec) {
+				t.Errorf("error %q is not ErrBadMachineSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestMachineFileRoundTrip pins Format-then-Parse as fingerprint-
+// preserving, the property the fuzz harness also checks.
+func TestMachineFileRoundTrip(t *testing.T) {
+	specs := []MachineSpec{
+		{},
+		{Interconnect: "infiniband", Seed: 42, Repeats: 9, Quick: true},
+		{Name: "lab", ComputeScale: 0.75, SerializeSends: true},
+		{Network: &NetworkSpec{Name: "fat-tree", Segments: []SegmentSpec{
+			{MinBytes: 0, LatencyUS: 1.25, BandwidthMBs: 3200},
+			{MinBytes: 65536, LatencyUS: 4, BandwidthMBs: 6400},
+		}}},
+		{Network: &NetworkSpec{Segments: []SegmentSpec{{MinBytes: 0}}}}, // free network
+	}
+	for i, ms := range specs {
+		text := FormatMachineFile(ms)
+		back, err := ParseMachineFile(text)
+		if err != nil {
+			t.Fatalf("spec %d: formatted file does not parse: %v\n%s", i, err, text)
+		}
+		if got, want := back.Fingerprint(), ms.Fingerprint(); got != want {
+			t.Errorf("spec %d: fingerprint drifted through format/parse\n%s", i, text)
+		}
+	}
+}
+
+// TestMachineSpecResolved covers the embedded-File expansion and
+// override rules of wire specs.
+func TestMachineSpecResolved(t *testing.T) {
+	file := "machine base\ninterconnect gige\nseed 3\nrepeats 4\n"
+
+	r, err := MachineSpec{File: file}.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Interconnect != "gige" || r.Seed != 3 || r.Repeats != 4 || r.Name != "base" || r.File != "" {
+		t.Errorf("resolved %+v", r)
+	}
+
+	// Explicit fields override the file; an explicit interconnect also
+	// clears a file network.
+	r, err = MachineSpec{File: "network x\nsegment 0 5 100\n", Interconnect: "qsnet", Seed: 9}.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Network != nil || r.Interconnect != "qsnet" || r.Seed != 9 {
+		t.Errorf("override resolution drifted: %+v", r)
+	}
+
+	if _, err := (MachineSpec{File: "bogus\n"}).Resolved(); !errors.Is(err, ErrBadMachineSpec) {
+		t.Errorf("bad file resolved: %v", err)
+	}
+
+	// No file: identity.
+	ms := MachineSpec{Interconnect: "gige"}
+	if r, err := ms.Resolved(); err != nil || !reflect.DeepEqual(r, ms) {
+		t.Errorf("fileless spec not returned unchanged: %+v, %v", r, err)
+	}
+}
+
+// TestMachineSpecFingerprint checks the identity the serving machine
+// cache keys on: spelling-insensitive, content-sensitive.
+func TestMachineSpecFingerprint(t *testing.T) {
+	if (MachineSpec{}).Fingerprint() != (MachineSpec{Interconnect: "qsnet", Seed: 1, ComputeScale: 1}).Fingerprint() {
+		t.Error("default spelling changes the fingerprint")
+	}
+	a := MachineSpec{Network: &NetworkSpec{Segments: []SegmentSpec{{LatencyUS: 5, BandwidthMBs: 100}}}}
+	b := MachineSpec{Network: &NetworkSpec{Segments: []SegmentSpec{{LatencyUS: 6, BandwidthMBs: 100}}}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("distinct networks share a fingerprint")
+	}
+	if a.Fingerprint() == (MachineSpec{}).Fingerprint() {
+		t.Error("custom network shares the preset fingerprint")
+	}
+	// A rename is the same platform: the display name must not move the
+	// fingerprint, and an ignored Interconnect alongside a custom network
+	// must not either.
+	if (MachineSpec{Name: "x"}).Fingerprint() != (MachineSpec{Name: "y"}).Fingerprint() {
+		t.Error("display name changes the fingerprint")
+	}
+	withIC := a
+	withIC.Interconnect = "gige"
+	if withIC.Fingerprint() != a.Fingerprint() {
+		t.Error("ignored interconnect alongside a custom network changes the fingerprint")
+	}
+}
+
+// TestMachineSpecOptionsWithSpecFields drives the new spec fields end to
+// end through NewMachine.
+func TestMachineSpecOptionsWithSpecFields(t *testing.T) {
+	ms := MachineSpec{
+		Network:      &NetworkSpec{Name: "probe", Segments: []SegmentSpec{{MinBytes: 0, LatencyUS: 2, BandwidthMBs: 500}}},
+		ComputeScale: 2,
+		Quick:        true,
+	}
+	m, err := NewMachine(ms.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NetworkName() != "probe" || m.ComputeScale() != 2 {
+		t.Errorf("machine: net %q scale %g", m.NetworkName(), m.ComputeScale())
+	}
+
+	if _, err := NewMachine(MachineSpec{Network: &NetworkSpec{}}.Options()...); !errors.Is(err, ErrBadMachineSpec) {
+		t.Errorf("empty network accepted: %v", err)
+	}
+	if _, err := NewMachine(MachineSpec{File: "bogus\n"}.Options()...); !errors.Is(err, ErrBadMachineSpec) {
+		t.Errorf("bad embedded file accepted: %v", err)
+	}
+	if _, err := NewMachine(WithComputeScale(-1)); !errors.Is(err, ErrBadOption) {
+		t.Errorf("negative compute scale accepted: %v", err)
+	}
+}
+
+// TestComputeScaleScalesSimulation asserts the semantic the calibration
+// subsystem relies on: a compute-scaled machine's simulated compute
+// times are exactly the scale times the baseline's.
+func TestComputeScaleScalesSimulation(t *testing.T) {
+	base := quickSession(t, WithDeck("small"), WithPE(4), WithIterations(1))
+	bres, err := base.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(WithQuick(), WithComputeScale(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScenario(WithDeck("small"), WithPE(4), WithIterations(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bres.Phases {
+		got := sres.Phases[i].Compute
+		want := 3 * bres.Phases[i].Compute
+		if rel := (got - want) / want; rel > 1e-12 || rel < -1e-12 {
+			t.Errorf("phase %d compute %g, want exactly 3x baseline (%g)", i+1, got, want)
+		}
+	}
+}
