@@ -3,13 +3,19 @@
 # BENCH_*.json trajectory is produced — run it once per PR and commit
 # the artifact so benchmark regressions are visible PR-over-PR.
 
-BENCH_OUT ?= BENCH_PR4.json
-# -benchtime 1x keeps the sweep cheap enough for CI; override locally
-# (e.g. BENCH_TIME=1s) for stabler numbers before reading too much into
-# a diff.
-BENCH_TIME ?= 1x
+BENCH_OUT ?= BENCH_PR5.json
+# The archived trajectory runs every benchmark a fixed number of times:
+# -benchtime 3x / -count 1 means 3 iterations per op for every result, so
+# PR-over-PR artifacts average the same amount of work and their diffs
+# are comparable (the PR4 artifact recorded iterations:1 everywhere —
+# single samples of multi-second benches). Override BENCH_TIME (e.g.
+# BENCH_TIME=1s) locally for tighter numbers on fast benches.
+BENCH_TIME ?= 3x
+BENCH_COUNT ?= 1
+# Baseline the bench-diff target compares against.
+BENCH_BASE ?= BENCH_PR5.json
 
-.PHONY: test race cover bench fmt vet
+.PHONY: test race cover bench bench-diff profile fmt vet
 
 test:
 	go build ./... && go test ./...
@@ -24,11 +30,32 @@ cover:
 bench:
 	# No pipe: a pipeline would exit with tee's status and let a failing
 	# benchmark run publish a silently truncated artifact.
-	go test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) ./... > bench.txt || { cat bench.txt; rm -f bench.txt; exit 1; }
+	go test -run '^$$' -bench . -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) ./... > bench.txt || { cat bench.txt; rm -f bench.txt; exit 1; }
 	cat bench.txt
 	go run ./cmd/bench2json < bench.txt > $(BENCH_OUT)
 	rm -f bench.txt
 	@echo "wrote $(BENCH_OUT)"
+
+# bench-diff compares a fresh artifact against the checked-in baseline
+# (benchstat-style ns/op and allocs/op deltas). CI runs this after every
+# bench job (BENCH_OUT=bench.json) so regressions land in the log, not
+# just the artifact. Refuses to diff a file against itself — with the
+# defaults that would always report "no change".
+bench-diff:
+	@if [ "$(BENCH_BASE)" = "$(BENCH_OUT)" ]; then \
+		echo "bench-diff: BENCH_BASE and BENCH_OUT are both $(BENCH_OUT);"; \
+		echo "run 'make bench BENCH_OUT=bench.json' first, then 'make bench-diff BENCH_OUT=bench.json'"; \
+		exit 1; \
+	fi
+	go run ./cmd/bench2json -diff $(BENCH_BASE) $(BENCH_OUT)
+
+# profile captures CPU and allocation profiles of the flagship workload
+# (a cold multi-PE simulate sweep) so the next perf investigation starts
+# with data: go tool pprof cpu.prof / mem.prof.
+PROFILE_ARGS ?= sweep -op simulate -deck medium -pe 8,16,32,64,128 -quick
+profile:
+	go run ./cmd/krak $(PROFILE_ARGS) -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof mem.prof (from: krak $(PROFILE_ARGS))"
 
 fmt:
 	gofmt -l .

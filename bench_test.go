@@ -71,11 +71,21 @@ func BenchmarkAblationCombine(b *testing.B)     { benchExperiment(b, "ablation-c
 func BenchmarkAblationNetwork(b *testing.B)     { benchExperiment(b, "ablation-network") }
 
 // Sweep benches: the same (deck, PE-count) grid through Session.Sweep,
-// serial vs as wide as the hardware allows. Every iteration builds a
-// fresh machine so the grid points repartition and resimulate from cold
-// caches; the parallel bench's per-op time over the serial bench's is the
-// engine's realized speedup (≥2x expected on a 4-core runner, 1x on a
-// single-core machine).
+// serial vs parallel. Both benches are cold by construction, and "cold"
+// means exactly this: every iteration builds a fresh Machine whose
+// artifact store (decks, graphs, partitions — internal/artifacts) starts
+// empty, so the deck is built once per iteration behind its single-flight
+// cache and every (deck, p) partition and simulation is computed from
+// scratch. Nothing is shared between the two benches or across
+// iterations: the artifact store is per-Machine unless explicitly shared
+// with WithSharedArtifacts, and the repo holds no process-global artifact
+// state.
+//
+// The parallel bench's per-op time under the serial bench's is the
+// engine's realized speedup (≥2x expected on a 4-core runner). On a
+// single hardware thread the honest expectation for the ratio is ~1.0:
+// the points are pure CPU work, so no pool width can compress their wall
+// time.
 
 // benchSweep runs the simulate grid at the given worker-pool width.
 func benchSweep(b *testing.B, parallel int) {
@@ -114,8 +124,23 @@ func benchSweep(b *testing.B, parallel int) {
 	}
 }
 
-func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
-func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the pool as wide as the hardware allows but
+// never narrower than 4 workers: on a single-core runner GOMAXPROCS(0) is
+// 1, which would silently turn this into a second serial bench — exactly
+// what BENCH_PR4.json recorded (its parallel==serial numbers were measured
+// at pool width 1 on a 1-CPU runner, not evidence of an engine convoy).
+// Pinning a minimum width keeps the benchmark measuring the engine's
+// scheduling path; the wall-clock ratio to SweepSerial is only meaningful
+// on runners with >1 hardware thread.
+func BenchmarkSweepParallel(b *testing.B) {
+	w := runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	benchSweep(b, w)
+}
 
 // Microbenchmarks of the load-bearing kernels.
 
@@ -152,13 +177,18 @@ func BenchmarkPartitionMultilevel128(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSimulate128 measures the simulator's per-iteration cost
+// on the path every measurement takes: one cluster.Runner reused across
+// iterations (exactly what SimulateIterations' Repeats loop does), so the
+// working buffers are warm and only the Result allocates.
 func BenchmarkClusterSimulate128(b *testing.B) {
 	sum := benchDeckSummary(b, 128)
 	cfg := cluster.Config{Net: netmodel.QsNetI(), Costs: compute.ES45()}
+	r := cluster.NewRunner(sum)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Iteration = i
-		if _, err := cluster.Simulate(sum, cfg); err != nil {
+		if _, err := r.Simulate(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

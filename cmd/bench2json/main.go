@@ -6,15 +6,24 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | bench2json > BENCH_PRn.json
+//	bench2json -diff BENCH_PR4.json BENCH_PR5.json
+//
+// -diff compares two archived artifacts benchstat-style: one row per
+// benchmark present in both files with ns/op and allocs/op deltas, plus
+// the benchmarks only one side has. CI prints the diff of every run
+// against the checked-in baseline so regressions surface in the job log,
+// not just the artifact.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Result is one parsed benchmark line.
@@ -37,6 +46,21 @@ type Artifact struct {
 const ArtifactSchema = "krak.bench/v1"
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two artifacts: bench2json -diff old.json new.json")
+	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench2json -diff old.json new.json")
+			os.Exit(2)
+		}
+		out, err := diffFiles(flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
 	art, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
@@ -48,6 +72,144 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+}
+
+// loadArtifact reads and validates an archived benchmark artifact.
+func loadArtifact(path string) (*Artifact, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(src, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if art.Schema != ArtifactSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, art.Schema, ArtifactSchema)
+	}
+	return &art, nil
+}
+
+// benchKey identifies a benchmark across artifacts. The name keeps its
+// -N GOMAXPROCS suffix; runs from machines with different CPU counts
+// compare as missing rather than as misleading deltas.
+func benchKey(r Result) string { return r.Pkg + "." + r.Name }
+
+// fmtNs renders a ns/op value with a human unit.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// fmtDelta renders a relative change, benchstat-style ("~" for tiny).
+func fmtDelta(old, new float64) string {
+	if old == 0 {
+		return "?"
+	}
+	d := (new - old) / old * 100
+	if d > -0.5 && d < 0.5 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.1f%%", d)
+}
+
+// diffFiles renders the benchstat-style comparison of two artifacts.
+func diffFiles(oldPath, newPath string) (string, error) {
+	oldArt, err := loadArtifact(oldPath)
+	if err != nil {
+		return "", err
+	}
+	newArt, err := loadArtifact(newPath)
+	if err != nil {
+		return "", err
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldArt.Results {
+		oldBy[benchKey(r)] = r
+	}
+	newBy := map[string]Result{}
+	for _, r := range newArt.Results {
+		newBy[benchKey(r)] = r
+	}
+
+	// Benchmarks are keyed by pkg+name; rows show the bare name unless two
+	// packages share it, in which case the pkg qualifies the row so a
+	// regression cannot be misattributed.
+	nameCount := map[string]int{}
+	for _, r := range newArt.Results {
+		nameCount[r.Name]++
+	}
+	label := func(r Result) string {
+		if nameCount[r.Name] > 1 {
+			return r.Pkg + "." + r.Name
+		}
+		return r.Name
+	}
+
+	var b strings.Builder
+	rows := [][]string{{"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"}}
+	for _, nr := range newArt.Results {
+		or, ok := oldBy[benchKey(nr)]
+		if !ok {
+			continue
+		}
+		rows = append(rows, []string{
+			label(nr),
+			fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp), fmtDelta(or.NsPerOp, nr.NsPerOp),
+			fmt.Sprintf("%.0f", or.AllocsSPer), fmt.Sprintf("%.0f", nr.AllocsSPer), fmtDelta(or.AllocsSPer, nr.AllocsSPer),
+		})
+	}
+	// Column widths count runes, not bytes: fmtNs emits "µs" values whose
+	// two-byte micro sign would otherwise pad those cells one short and
+	// stagger the table.
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if n := utf8.RuneCountInString(cell); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	pad := func(n int) {
+		for ; n > 0; n-- {
+			b.WriteByte(' ')
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fill := widths[i] - utf8.RuneCountInString(cell)
+			if i == 0 {
+				b.WriteString(cell)
+				pad(fill)
+			} else {
+				pad(fill)
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, nr := range newArt.Results {
+		if _, ok := oldBy[benchKey(nr)]; !ok {
+			fmt.Fprintf(&b, "only in %s: %s\n", newPath, benchKey(nr))
+		}
+	}
+	for _, or := range oldArt.Results {
+		if _, ok := newBy[benchKey(or)]; !ok {
+			fmt.Fprintf(&b, "only in %s: %s\n", oldPath, benchKey(or))
+		}
+	}
+	return b.String(), nil
 }
 
 // parse scans `go test -bench` output: "pkg: ..." headers set the

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -51,5 +54,57 @@ func TestParseBenchLineRejects(t *testing.T) {
 	// A bare name+iters line (custom metrics only) still parses.
 	if r, ok := parseBenchLine("BenchmarkX-4 10 3.5 widgets/op 2 ns/op"); !ok || r.NsPerOp != 2 {
 		t.Errorf("custom-metric line: %+v ok=%t", r, ok)
+	}
+}
+
+func TestDiffFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, art Artifact) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		out, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", Artifact{Schema: ArtifactSchema, Results: []Result{
+		{Pkg: "krak", Name: "BenchmarkA", NsPerOp: 2e6, AllocsSPer: 1000},
+		{Pkg: "krak", Name: "BenchmarkGone", NsPerOp: 5e3, AllocsSPer: 7},
+	}})
+	newP := write("new.json", Artifact{Schema: ArtifactSchema, Results: []Result{
+		{Pkg: "krak", Name: "BenchmarkA", NsPerOp: 1e6, AllocsSPer: 200},
+		{Pkg: "krak", Name: "BenchmarkNew", NsPerOp: 1e3, AllocsSPer: 3},
+	}})
+	out, err := diffFiles(oldP, newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkA", "2.00ms", "1.00ms", "-50.0%", "-80.0%",
+		"only in " + newP + ": krak.BenchmarkNew",
+		"only in " + oldP + ": krak.BenchmarkGone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffFilesRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(p, []byte(`{"schema":"nope","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"schema":"`+ArtifactSchema+`","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diffFiles(p, good); err == nil {
+		t.Fatal("bad schema accepted")
 	}
 }

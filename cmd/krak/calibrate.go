@@ -33,7 +33,13 @@ func runCalibrate(args []string) error {
 	writeData := fs.String("write-data", "", "write the (possibly synthesized) dataset here")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	mf := addMachineFlags(fs, true)
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if (*data == "") == !*synth {
 		return fmt.Errorf("krak: calibrate needs exactly one dataset source: -data FILE or -synth")

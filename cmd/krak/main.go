@@ -36,6 +36,10 @@
 // lines, "compute-scale F", "seed N", "repeats N", "quick",
 // "serialize-sends". `krak calibrate -emit-machine` writes one from
 // fitted parameters, closing the measure -> calibrate -> predict loop.
+//
+// Every subcommand also accepts -cpuprofile FILE and -memprofile FILE,
+// writing pprof profiles of the invocation (see `make profile` for the
+// canonical flagship-workload capture).
 package main
 
 import (
@@ -228,7 +232,13 @@ func runPredict(args []string) error {
 	modelName := fs.String("model", "general-homo", "model: general-homo, general-het, mesh-specific")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	mf := addMachineFlags(fs, false)
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	model, err := krak.ParseModel(*modelName)
 	if err != nil {
@@ -261,7 +271,13 @@ func runSimulate(args []string) error {
 	parter := fs.String("partitioner", "multilevel", "multilevel, rcb, sfc, strips, random")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	mf := addMachineFlags(fs, true)
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	m, err := mf.machine()
 	if err != nil {
@@ -296,7 +312,13 @@ func runHydro(args []string) error {
 	ranks := fs.Int("ranks", 1, "parallel goroutine ranks (1 = serial)")
 	report := fs.Int("report", 20, "diagnostics interval in steps, 0 to disable (serial only)")
 	asJSON := fs.Bool("json", false, "emit JSON")
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	m := krak.QsNetCluster()
 	deckOpt := krak.WithDeckDims(*w, *h)
@@ -342,7 +364,13 @@ func runPart(args []string) error {
 	showMap := fs.Bool("map", true, "render the subgrid map")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	mf := addMachineFlags(fs, false)
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	m, err := mf.machine()
 	if err != nil {
@@ -384,7 +412,13 @@ func runSweep(args []string) error {
 	iters := fs.Int("iterations", 0, "iterations per simulate point (0 = machine repeats)")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	mf := addMachineFlags(fs, true)
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *iters < 0 {
 		return fmt.Errorf("krak: -iterations must be >= 0 (0 = machine repeats), got %d", *iters)
@@ -466,7 +500,13 @@ func runExperiments(args []string) error {
 	write := fs.String("write", "", "write results as markdown to this file")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	mf := addMachineFlags(fs, false)
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *list {
 		if *asJSON {

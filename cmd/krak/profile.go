@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags adds -cpuprofile/-memprofile to a subcommand, so any krak
+// invocation can be profiled without a rebuild:
+//
+//	krak sweep -op simulate -deck medium -pe 8,16,32 -cpuprofile cpu.prof
+//	go tool pprof cpu.prof
+//
+// The CPU profile covers everything between flag parsing and subcommand
+// exit; the allocation profile is a heap snapshot written at exit (after a
+// GC, so it reflects live objects plus cumulative allocation counters).
+type profileFlags struct {
+	cpu *string
+	mem *string
+}
+
+// addProfileFlags declares the profiling flags on a subcommand FlagSet.
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to `file` (inspect with go tool pprof)"),
+		mem: fs.String("memprofile", "", "write an allocation profile to `file` at exit"),
+	}
+}
+
+// start begins CPU profiling when requested and returns a stop function to
+// defer; stop also writes the allocation profile when requested. Profile
+// I/O failures report to stderr rather than masking the subcommand's own
+// error.
+func (p *profileFlags) start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("krak: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("krak: -cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "krak: -cpuprofile:", err)
+			}
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "krak: -memprofile:", err)
+				return
+			}
+			runtime.GC() // flush recent allocation state into the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "krak: -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "krak: -memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -29,7 +29,13 @@ func runServe(args []string) error {
 	cacheSize := fs.Int("cache-size", 1024, "rendered-response LRU capacity (entries)")
 	quick := fs.Bool("quick", false, "serve scaled-down decks and calibrations")
 	batchWindow := fs.Duration("batch-window", 500*time.Microsecond, "micro-batch collection window for /v1/predict")
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *parallel < 0 {
 		return fmt.Errorf("krak: -parallel must be >= 0 (0 = number of CPUs), got %d", *parallel)

@@ -1,0 +1,164 @@
+package artifacts
+
+import (
+	"sync"
+	"testing"
+
+	"krak/internal/mesh"
+	"krak/internal/partition"
+)
+
+func TestStandardDeckQuickAndFullCacheSeparately(t *testing.T) {
+	s := NewStore()
+	quick, err := s.StandardDeck(mesh.Small, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.StandardDeck(mesh.Small, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick == full {
+		t.Fatal("quick and full decks share a cache entry")
+	}
+	again, err := s.StandardDeck(mesh.Small, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != quick {
+		t.Fatal("quick deck was rebuilt instead of served from cache")
+	}
+}
+
+func TestLayeredDeckCachesByDims(t *testing.T) {
+	s := NewStore()
+	a, err := s.LayeredDeck(20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.LayeredDeck(20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical dims rebuilt the deck")
+	}
+	c, err := s.LayeredDeck(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct dims shared a cache entry")
+	}
+}
+
+// TestPartitionArtifactsShareOneRun checks the layering contract: the
+// graph, vector, and summary of one (deck, partitioner, seed, p) identity
+// are each computed once, the summary derives from the cached vector, and
+// different seeds or partitioners key separately.
+func TestPartitionArtifactsShareOneRun(t *testing.T) {
+	s := NewStore()
+	d, err := s.LayeredDeck(24, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := s.Graph(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Graph(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("graph rebuilt for the same deck")
+	}
+
+	ml := partition.NewMultilevel(1)
+	v1, err := s.Vector(d, ml, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summary(d, ml, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.P != 4 {
+		t.Fatalf("summary P = %d, want 4", sum.P)
+	}
+	// The summary's cell counts must agree with the cached vector — it
+	// was built from it, not from an independent partitioning run.
+	counts := make([]int, 4)
+	for _, pe := range v1 {
+		counts[pe]++
+	}
+	for pe, want := range counts {
+		if sum.TotalCells[pe] != want {
+			t.Fatalf("summary cells[%d] = %d, vector says %d", pe, sum.TotalCells[pe], want)
+		}
+	}
+
+	v2, err := s.Vector(d, partition.NewMultilevel(2), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &v1[0] == &v2[0] {
+		t.Fatal("different seeds shared a partition vector")
+	}
+	rcb := partition.RCB{}
+	vr, err := s.Vector(d, rcb, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &vr[0] == &v1[0] {
+		t.Fatal("different partitioners shared a partition vector")
+	}
+}
+
+// TestStoreSingleFlightConcurrent hammers one identity from many
+// goroutines and checks everyone gets the same objects back.
+func TestStoreSingleFlightConcurrent(t *testing.T) {
+	s := NewStore()
+	d, err := s.LayeredDeck(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := partition.NewMultilevel(7)
+	const n = 16
+	sums := make([]*mesh.PartitionSummary, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sum, err := s.Summary(d, ml, 7, 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sums[i] = sum
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if sums[i] != sums[0] {
+			t.Fatalf("goroutine %d received a different summary instance", i)
+		}
+	}
+}
+
+func TestVectorErrorPropagates(t *testing.T) {
+	s := NewStore()
+	d, err := s.LayeredDeck(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More parts than cells is a partitioner error; it must surface (and
+	// be memoized) rather than panic.
+	if _, err := s.Vector(d, partition.NewMultilevel(1), 1, 1000); err == nil {
+		t.Fatal("oversized part count accepted")
+	}
+	if _, err := s.Summary(d, partition.NewMultilevel(1), 1, 1000); err == nil {
+		t.Fatal("oversized summary accepted")
+	}
+}

@@ -148,12 +148,39 @@ type message struct {
 	sent     float64 // send completion time at the sender
 }
 
+// Runner simulates iterations over one partition summary, reusing its
+// working buffers (inboxes, arrival queues, message scratch) across runs so
+// the per-iteration loop — the Repeats loop every measurement takes — is
+// allocation-free apart from the Result it returns. A Runner is not safe
+// for concurrent use; concurrent callers each create their own (the summary
+// itself is read-only and freely shared).
+type Runner struct {
+	sum      *mesh.PartitionSummary
+	inbox    [][]message
+	postDone []float64
+	arrivals []arrival
+	msgs     []phases.Message
+	sorter   arrivalSorter
+}
+
+// NewRunner returns a reusable simulator for the given partition summary.
+func NewRunner(sum *mesh.PartitionSummary) *Runner {
+	return &Runner{sum: sum}
+}
+
 // Simulate runs one iteration of Krak over the partitioned deck described
-// by sum.
+// by sum. One-shot convenience over NewRunner(sum).Simulate(cfg); loops
+// should hold a Runner to amortize its buffers.
 func Simulate(sum *mesh.PartitionSummary, cfg Config) (*Result, error) {
+	return NewRunner(sum).Simulate(cfg)
+}
+
+// Simulate runs one iteration of Krak over the runner's partition summary.
+func (r *Runner) Simulate(cfg Config) (*Result, error) {
 	if cfg.Net == nil || cfg.Costs == nil {
 		return nil, fmt.Errorf("cluster: Config.Net and Config.Costs are required")
 	}
+	sum := r.sum
 	if sum == nil || sum.P <= 0 {
 		return nil, fmt.Errorf("cluster: empty partition summary")
 	}
@@ -163,9 +190,13 @@ func Simulate(sum *mesh.PartitionSummary, cfg Config) (*Result, error) {
 	oSend := cfg.sendOverhead()
 	oRecv := cfg.recvOverhead()
 
-	for phIdx, ph := range phases.Table1() {
+	// One flat backing array serves every phase's compute-time slice; the
+	// slices escape into the Result, the backing is a single allocation.
+	compFlat := make([]float64, phases.Count*p)
+
+	for phIdx, ph := range phases.All() {
 		// 1. Computation.
-		comp := make([]float64, p)
+		comp := compFlat[phIdx*p : (phIdx+1)*p : (phIdx+1)*p]
 		for pe := 0; pe < p; pe++ {
 			comp[pe] = cfg.Costs.NoisyPhaseTime(ph.Number, sum.CellsByMaterial[pe], pe, cfg.Iteration)
 		}
@@ -187,7 +218,7 @@ func Simulate(sum *mesh.PartitionSummary, cfg Config) (*Result, error) {
 		// 2. Point-to-point communication, if any.
 		var phaseEnd float64
 		if ph.HasPointToPoint() && p > 1 {
-			phaseEnd = simulateP2P(sum, ph, comp, cfg, oSend, oRecv, res)
+			phaseEnd = r.simulateP2P(ph, comp, cfg, oSend, oRecv, res)
 		} else {
 			phaseEnd = maxComp
 		}
@@ -222,11 +253,22 @@ func Simulate(sum *mesh.PartitionSummary, cfg Config) (*Result, error) {
 
 // simulateP2P plays out one phase's point-to-point traffic and returns the
 // time at which the slowest processor has finished computing, sending, and
-// receiving. Phase-relative time: computation starts at 0.
-func simulateP2P(sum *mesh.PartitionSummary, ph phases.Phase, comp []float64, cfg Config, oSend, oRecv float64, res *Result) float64 {
+// receiving. Phase-relative time: computation starts at 0. All working
+// memory comes from the runner's reusable buffers.
+func (r *Runner) simulateP2P(ph phases.Phase, comp []float64, cfg Config, oSend, oRecv float64, res *Result) float64 {
+	sum := r.sum
 	p := sum.P
-	inbox := make([][]message, p)
-	postDone := make([]float64, p)
+	if cap(r.inbox) < p {
+		r.inbox = make([][]message, p)
+	}
+	inbox := r.inbox[:p]
+	for i := range inbox {
+		inbox[i] = inbox[i][:0]
+	}
+	if cap(r.postDone) < p {
+		r.postDone = make([]float64, p)
+	}
+	postDone := r.postDone[:p]
 
 	for pe := 0; pe < p; pe++ {
 		t := comp[pe]
@@ -234,12 +276,13 @@ func simulateP2P(sum *mesh.PartitionSummary, ph phases.Phase, comp []float64, cf
 		// order (deterministic schedule).
 		for _, nb := range sum.NeighborsOf[pe] {
 			b := sum.Boundary(pe, nb)
-			var msgs []phases.Message
+			msgs := r.msgs[:0]
 			if ph.BoundaryExchange {
-				msgs = phases.BoundaryExchangeMessages(b)
+				msgs = phases.AppendBoundaryExchangeMessages(msgs, b)
 			} else {
-				msgs = phases.GhostUpdateMessages(b, pe, ph.GhostUpdateBytes)
+				msgs = phases.AppendGhostUpdateMessages(msgs, b, pe, ph.GhostUpdateBytes)
 			}
+			r.msgs = msgs
 			for _, m := range msgs {
 				start := t
 				if cfg.SerializeSends {
@@ -265,7 +308,7 @@ func simulateP2P(sum *mesh.PartitionSummary, ph phases.Phase, comp []float64, cf
 	// Receives: blocking, drained in arrival order after sends are posted.
 	end := 0.0
 	for pe := 0; pe < p; pe++ {
-		arrivals := make([]arrival, 0, len(inbox[pe]))
+		arrivals := r.arrivals[:0]
 		for _, m := range inbox[pe] {
 			arr := m.sent
 			if !cfg.SerializeSends {
@@ -273,7 +316,9 @@ func simulateP2P(sum *mesh.PartitionSummary, ph phases.Phase, comp []float64, cf
 			}
 			arrivals = append(arrivals, arrival{at: arr, from: m.from, bytes: m.bytes})
 		}
-		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].at < arrivals[j].at })
+		r.arrivals = arrivals
+		r.sorter.a = arrivals
+		sort.Sort(&r.sorter)
 		cpu := postDone[pe]
 		for _, a := range arrivals {
 			start := cpu
@@ -302,18 +347,33 @@ type arrival struct {
 	bytes int
 }
 
+// arrivalSorter orders arrivals by delivery time. Sorting through a pointer
+// receiver on a runner field avoids the per-call closure and interface
+// allocations sort.Slice would cost in the phase loop. Processing order of
+// equal delivery times does not affect the drained-receive arithmetic (only
+// `at` enters the max), so the unstable sort is deterministic where it
+// matters.
+type arrivalSorter struct{ a []arrival }
+
+func (s *arrivalSorter) Len() int           { return len(s.a) }
+func (s *arrivalSorter) Less(i, j int) bool { return s.a[i].at < s.a[j].at }
+func (s *arrivalSorter) Swap(i, j int)      { s.a[i], s.a[j] = s.a[j], s.a[i] }
+
 // SimulateIterations runs n iterations (with independent noise) and returns
-// the per-iteration results plus the mean iteration time.
+// the per-iteration results plus the mean iteration time. All iterations
+// share one Runner, so the per-iteration simulation is allocation-free
+// beyond the Results themselves.
 func SimulateIterations(sum *mesh.PartitionSummary, cfg Config, n int) ([]*Result, float64, error) {
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("cluster: iteration count %d", n)
 	}
+	runner := NewRunner(sum)
 	results := make([]*Result, 0, n)
 	var total float64
 	for i := 0; i < n; i++ {
 		c := cfg
 		c.Iteration = cfg.Iteration + i
-		r, err := Simulate(sum, c)
+		r, err := runner.Simulate(c)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"krak/internal/engine"
@@ -77,5 +80,44 @@ func TestRunAllCancelled(t *testing.T) {
 	cancel()
 	if _, err := RunAll(ctx, NewQuickEnv(), []string{"table1"}, engine.Serial()); err == nil {
 		t.Fatal("cancelled context did not abort")
+	}
+}
+
+// TestOptimizedHotPathMatchesGoldens is the PR 5 seed-determinism parity
+// suite: the allocation-free partitioner (scratch arena + cached-gain FM)
+// and the zero-alloc simulator runner must reproduce the pre-refactor
+// golden outputs byte-for-byte for every registry id, at serial and
+// parallel pool widths alike (the `krak experiments -parallel N` paths).
+// Unlike TestGoldenRegistry (serial) and TestParallelOutputByteIdentical
+// (parallel vs serial in-process), this pins the parallel runs directly
+// against the checked-in goldens, so a nondeterminism that shifted both
+// in-process runs the same way would still be caught.
+func TestOptimizedHotPathMatchesGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full registry sweeps")
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallel-%d", workers), func(t *testing.T) {
+			env := NewQuickEnv()
+			pool := engine.New(workers)
+			env.Pool = pool
+			rs, err := RunAll(ctx, env, nil, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != len(Registry) {
+				t.Fatalf("got %d results, want %d", len(rs), len(Registry))
+			}
+			for i, e := range Registry {
+				want, err := os.ReadFile(filepath.Join("testdata", "golden", e.ID+".txt"))
+				if err != nil {
+					t.Fatalf("missing golden for %s: %v", e.ID, err)
+				}
+				if got := rs[i].Render(); got != string(want) {
+					t.Errorf("%s at parallel %d drifted from golden output", e.ID, workers)
+				}
+			}
+		})
 	}
 }

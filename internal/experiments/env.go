@@ -14,7 +14,9 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
+	"krak/internal/artifacts"
 	"krak/internal/cluster"
 	"krak/internal/compute"
 	"krak/internal/core"
@@ -57,10 +59,30 @@ type Env struct {
 	// its own pool argument.
 	Pool *engine.Pool
 
-	decks     engine.Cache[string, *mesh.Deck]
-	summaries engine.Cache[string, *mesh.PartitionSummary]
+	// Artifacts optionally points at a shared cross-environment artifact
+	// store (decks, graphs, partitions — see internal/artifacts). Nil
+	// means the Env lazily creates a private store on first use. Sharing
+	// is safe across environments with different cost tables or networks:
+	// everything the store caches depends only on deck identity, quick
+	// mode, and the partitioner seed, all of which are in its keys.
+	Artifacts *artifacts.Store
+	artOnce   sync.Once
+
+	// contrived/deckCals stay per-Env: calibrations depend on the cost
+	// tables and repeat count, which the artifact store does not key.
 	contrived engine.Cache[struct{}, *compute.Calibrated]
 	deckCals  engine.Cache[string, *compute.Calibrated]
+}
+
+// Store returns the Env's artifact store, creating a private one if none
+// was injected.
+func (e *Env) Store() *artifacts.Store {
+	e.artOnce.Do(func() {
+		if e.Artifacts == nil {
+			e.Artifacts = artifacts.NewStore()
+		}
+	})
+	return e.Artifacts
 }
 
 // NewEnv returns a paper-faithful environment.
@@ -103,46 +125,48 @@ func (e *Env) clusterConfig() cluster.Config {
 
 // Deck returns (and caches) a standard deck, shrunk in Quick mode.
 func (e *Env) Deck(s mesh.StandardSize) (*mesh.Deck, error) {
-	return e.decks.Get(s.String(), func() (*mesh.Deck, error) {
-		if e.Quick {
-			w, h := s.Dims()
-			for w*h > 51200 { // cap quick decks at 51,200 cells
-				w /= 2
-				h /= 2
-			}
-			d, err := mesh.BuildLayeredDeck(w, h)
-			if err != nil {
-				return nil, err
-			}
-			d.Name = s.String() + "-quick"
-			return d, nil
-		}
-		return mesh.BuildStandardDeck(s)
-	})
+	return e.Store().StandardDeck(s, e.Quick)
+}
+
+// CustomDeck returns (and caches) the custom W x H layered deck.
+func (e *Env) CustomDeck(w, h int) (*mesh.Deck, error) {
+	return e.Store().LayeredDeck(w, h)
+}
+
+// Graph returns (and caches) the dual graph of a deck.
+func (e *Env) Graph(d *mesh.Deck) (*partition.Graph, error) {
+	return e.Store().Graph(d)
 }
 
 // Partition returns (and caches) the multilevel partition summary of a deck
 // at p processors. Distinct (deck, p) keys partition concurrently;
-// duplicate requests wait for the one in flight. The key is the deck's
-// content-derived CacheKey, so two decks sharing a name (possible with
-// parsed decks) can never serve each other's partitions.
+// duplicate requests wait for the one in flight. The key includes the
+// deck's content-derived CacheKey, so two decks sharing a name (possible
+// with parsed decks) can never serve each other's partitions.
 func (e *Env) Partition(d *mesh.Deck, p int) (*mesh.PartitionSummary, error) {
-	key := fmt.Sprintf("%s/%d", d.CacheKey(), p)
-	return e.summaries.Get(key, func() (*mesh.PartitionSummary, error) {
-		g := partition.FromMesh(d.Mesh)
-		part, err := partition.NewMultilevel(e.Seed).Partition(g, p)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: partitioning %s to %d PEs: %w", d.Name, p, err)
-		}
-		return mesh.Summarize(d.Mesh, part, p)
-	})
+	return e.Store().Summary(d, partition.NewMultilevel(e.Seed), e.Seed, p)
 }
 
-// PartitionVector computes the raw cell-to-PE assignment (not cached; used
-// by the Figure 1 visualization).
+// SummaryFor returns (and caches) the partition summary of a deck under an
+// arbitrary partitioner — the façade's non-default algorithms route here
+// so sweeps and repeated sessions share their partitions too. pr must be
+// seeded from this Env's Seed.
+func (e *Env) SummaryFor(d *mesh.Deck, pr partition.Partitioner, p int) (*mesh.PartitionSummary, error) {
+	return e.Store().Summary(d, pr, e.Seed, p)
+}
+
+// PartitionVector returns (and caches) the raw multilevel cell-to-PE
+// assignment (the Figure 1 visualization, the façade's Partition report,
+// and parallel hydro runs all read it). Shared storage — callers must not
+// mutate the returned slice.
 func (e *Env) PartitionVector(d *mesh.Deck, p int) ([]int, error) {
-	g := partition.FromMesh(d.Mesh)
-	return partition.NewMultilevel(e.Seed).Partition(g, p)
+	return e.Store().Vector(d, partition.NewMultilevel(e.Seed), e.Seed, p)
+}
+
+// VectorFor is PartitionVector for an arbitrary partitioner seeded from
+// this Env's Seed.
+func (e *Env) VectorFor(d *mesh.Deck, pr partition.Partitioner, p int) ([]int, error) {
+	return e.Store().Vector(d, pr, e.Seed, p)
 }
 
 // Measure runs the simulator and returns the mean iteration time.
@@ -167,10 +191,11 @@ func (e *Env) Profiler() core.ProfileFunc {
 		for ph := 0; ph < phases.Count; ph++ {
 			out[ph] = make([]float64, sum.P)
 		}
+		runner := cluster.NewRunner(sum)
 		for it := 0; it < reps; it++ {
 			c := cfg
 			c.Iteration = it
-			r, err := cluster.Simulate(sum, c)
+			r, err := runner.Simulate(c)
 			if err != nil {
 				return out, err
 			}

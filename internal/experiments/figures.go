@@ -59,7 +59,7 @@ func Figure1(_ context.Context, env *Env) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sum, err := mesh.Summarize(d.Mesh, part, p)
+	sum, err := env.Partition(d, p)
 	if err != nil {
 		return nil, err
 	}

@@ -161,12 +161,42 @@ func ExtractSubgrid(d *mesh.Deck, part []int, p, rank int) (*Subgrid, error) {
 	}, nil
 }
 
-// parallelExchanger implements Exchanger over mpisim.
+// parallelExchanger implements Exchanger over mpisim. Staging buffers are
+// allocated once at construction and reused every step, so the per-step
+// exchange path allocates nothing.
 type parallelExchanger struct {
 	comm *mpisim.Comm
 	sub  *Subgrid
 	// epoch separates the collectives of successive Step calls.
 	epoch int
+	// sendBuf stages outgoing payloads and recvBuf drains incoming ones
+	// (via RecvInto), each sized for the largest message any link carries
+	// (3 values per shared face or 2 per shared node). One staging buffer
+	// serves every neighbor because mpisim's Send copies the payload into
+	// its transport buffer before returning, so the buffer is free for
+	// reuse the moment Isend returns.
+	sendBuf []float64
+	recvBuf []float64
+	// batch reuses send-request storage across exchanges.
+	batch mpisim.Batch
+}
+
+// newParallelExchanger sizes the exchanger's staging buffers for sub.
+func newParallelExchanger(comm *mpisim.Comm, sub *Subgrid) *parallelExchanger {
+	x := &parallelExchanger{comm: comm, sub: sub}
+	maxLen := 0
+	for _, nb := range sub.Neighbors {
+		n := 3 * nb.SharedFaces
+		if v := 2 * len(nb.SharedNodes); v > n {
+			n = v
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	x.sendBuf = make([]float64, maxLen)
+	x.recvBuf = make([]float64, maxLen)
+	return x
 }
 
 // Tags for point-to-point phases; user tag space below 1<<20.
@@ -200,24 +230,24 @@ func (x *parallelExchanger) BoundaryExchange(s *State) error {
 	}
 	// Asynchronous sends to every neighbor, a completion wait, then
 	// blocking receives — the §4 communication structure.
-	var reqs []*mpisim.Request
 	for _, nb := range x.sub.Neighbors {
-		payload := make([]float64, 3*nb.SharedFaces)
+		payload := x.sendBuf[:3*nb.SharedFaces]
 		for i := 0; i < nb.SharedFaces; i++ {
 			payload[3*i] = meanP
 			payload[3*i+1] = meanQ
 			payload[3*i+2] = meanRho
 		}
-		reqs = append(reqs, x.comm.Isend(nb.Rank, tagBoundary, payload))
+		x.batch.Isend(x.comm, nb.Rank, tagBoundary, payload)
 	}
-	if err := mpisim.Waitall(reqs); err != nil {
+	if err := x.batch.Waitall(); err != nil {
 		return err
 	}
 	for _, nb := range x.sub.Neighbors {
-		got, err := x.comm.Recv(nb.Rank, tagBoundary)
+		got, err := x.comm.RecvInto(nb.Rank, tagBoundary, x.recvBuf)
 		if err != nil {
 			return err
 		}
+		x.recvBuf = got[:cap(got)]
 		if len(got) != 3*nb.SharedFaces {
 			return fmt.Errorf("hydro: boundary payload %d from rank %d, want %d",
 				len(got), nb.Rank, 3*nb.SharedFaces)
@@ -231,22 +261,22 @@ func (x *parallelExchanger) BoundaryExchange(s *State) error {
 // corner nodes shared by three or more ranks sum correctly.
 func (x *parallelExchanger) SumShared(partial, total []float64, tag int) error {
 	copy(total, partial)
-	var reqs []*mpisim.Request
 	for _, nb := range x.sub.Neighbors {
-		buf := make([]float64, len(nb.SharedNodes))
+		buf := x.sendBuf[:len(nb.SharedNodes)]
 		for i, l := range nb.SharedNodes {
 			buf[i] = partial[l]
 		}
-		reqs = append(reqs, x.comm.Isend(nb.Rank, tagShared+tag, buf))
+		x.batch.Isend(x.comm, nb.Rank, tagShared+tag, buf)
 	}
-	if err := mpisim.Waitall(reqs); err != nil {
+	if err := x.batch.Waitall(); err != nil {
 		return err
 	}
 	for _, nb := range x.sub.Neighbors {
-		got, err := x.comm.Recv(nb.Rank, tagShared+tag)
+		got, err := x.comm.RecvInto(nb.Rank, tagShared+tag, x.recvBuf)
 		if err != nil {
 			return err
 		}
+		x.recvBuf = got[:cap(got)]
 		if len(got) != len(nb.SharedNodes) {
 			return fmt.Errorf("hydro: shared payload %d from rank %d, want %d",
 				len(got), nb.Rank, len(nb.SharedNodes))
@@ -263,23 +293,23 @@ func (x *parallelExchanger) SumShared(partial, total []float64, tag int) error {
 // counts' partial-sum orderings.
 func (x *parallelExchanger) SyncGhostVelocities(s *State) error {
 	me := x.comm.Rank()
-	var reqs []*mpisim.Request
 	for _, nb := range x.sub.Neighbors {
-		buf := make([]float64, 2*len(nb.SharedNodes))
+		buf := x.sendBuf[:2*len(nb.SharedNodes)]
 		for i, l := range nb.SharedNodes {
 			buf[2*i] = s.U[l]
 			buf[2*i+1] = s.V[l]
 		}
-		reqs = append(reqs, x.comm.Isend(nb.Rank, tagVel, buf))
+		x.batch.Isend(x.comm, nb.Rank, tagVel, buf)
 	}
-	if err := mpisim.Waitall(reqs); err != nil {
+	if err := x.batch.Waitall(); err != nil {
 		return err
 	}
 	for _, nb := range x.sub.Neighbors {
-		got, err := x.comm.Recv(nb.Rank, tagVel)
+		got, err := x.comm.RecvInto(nb.Rank, tagVel, x.recvBuf)
 		if err != nil {
 			return err
 		}
+		x.recvBuf = got[:cap(got)]
 		for i, l := range nb.SharedNodes {
 			if x.sub.OwnerRank[l] == nb.Rank && x.sub.OwnerRank[l] != me {
 				s.U[l] = got[2*i]
@@ -293,31 +323,19 @@ func (x *parallelExchanger) SyncGhostVelocities(s *State) error {
 // AllreduceMin implements Exchanger.
 func (x *parallelExchanger) AllreduceMin(v float64) (float64, error) {
 	x.epoch++
-	out, err := x.comm.AllreduceMin([]float64{v}, x.epoch)
-	if err != nil {
-		return 0, err
-	}
-	return out[0], nil
+	return x.comm.AllreduceMinScalar(v, x.epoch)
 }
 
 // AllreduceMax implements Exchanger.
 func (x *parallelExchanger) AllreduceMax(v float64) (float64, error) {
 	x.epoch++
-	out, err := x.comm.AllreduceMax([]float64{v}, x.epoch)
-	if err != nil {
-		return 0, err
-	}
-	return out[0], nil
+	return x.comm.AllreduceMaxScalar(v, x.epoch)
 }
 
 // AllreduceSum implements Exchanger.
 func (x *parallelExchanger) AllreduceSum(v float64) (float64, error) {
 	x.epoch++
-	out, err := x.comm.AllreduceSum([]float64{v}, x.epoch)
-	if err != nil {
-		return 0, err
-	}
-	return out[0], nil
+	return x.comm.AllreduceSumScalar(v, x.epoch)
 }
 
 // Bcast implements Exchanger.
@@ -360,7 +378,7 @@ func RunParallel(d *mesh.Deck, part []int, p, steps int, opt Options) (*Parallel
 		// count shared nodes: scale the local share by cell ownership
 		// only (the partial arrays already hold only local cells'
 		// contributions, so nothing further is needed).
-		ex := &parallelExchanger{comm: c, sub: sub}
+		ex := newParallelExchanger(c, sub)
 		for i := 0; i < steps; i++ {
 			if err := Step(st, ex, &timers[c.Rank()]); err != nil {
 				return err

@@ -20,10 +20,31 @@ type packet struct {
 	data     []float64
 }
 
-// World owns the mailboxes of a fixed-size rank group.
+// World owns the mailboxes of a fixed-size rank group, plus a shared pool
+// of payload buffers: sends draw their copy from the pool and RecvInto
+// returns drained payloads to it, so steady-state point-to-point traffic
+// recycles memory instead of allocating per message.
 type World struct {
 	size  int
 	boxes []*mailbox
+	bufs  sync.Pool // of []float64, stored len 0
+}
+
+// getBuf returns a payload buffer of length n, reusing pooled capacity.
+func (w *World) getBuf(n int) []float64 {
+	if v := w.bufs.Get(); v != nil {
+		if b := v.([]float64); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putBuf recycles a payload buffer whose contents are no longer referenced.
+func (w *World) putBuf(b []float64) {
+	if cap(b) > 0 {
+		w.bufs.Put(b[:0]) //nolint:staticcheck // slice headers are what the pool stores
+	}
 }
 
 // mailbox holds a rank's incoming messages with (src, tag) matching.
@@ -76,6 +97,9 @@ func NewWorld(size int) (*World, error) {
 type Comm struct {
 	world *World
 	rank  int
+	// acc1/rbuf1 are the scalar-collective scratch buffers; a Comm serves
+	// one rank goroutine, so they need no locking.
+	acc1, rbuf1 [1]float64
 }
 
 // Comm returns the endpoint for a rank.
@@ -101,7 +125,7 @@ func (c *Comm) Send(dst, tag int, data []float64) error {
 	if dst == c.rank {
 		return fmt.Errorf("mpisim: send to self (rank %d)", c.rank)
 	}
-	cp := make([]float64, len(data))
+	cp := c.world.getBuf(len(data))
 	copy(cp, data)
 	c.world.boxes[dst].put(packet{src: c.rank, tag: tag, data: cp})
 	return nil
@@ -142,7 +166,8 @@ func Waitall(reqs []*Request) error {
 	return first
 }
 
-// Recv blocks until a message with the given source and tag arrives.
+// Recv blocks until a message with the given source and tag arrives. The
+// returned slice is owned by the caller and is never recycled.
 func (c *Comm) Recv(src, tag int) ([]float64, error) {
 	if src < 0 || src >= c.world.size {
 		return nil, fmt.Errorf("mpisim: recv from invalid rank %d", src)
@@ -151,6 +176,51 @@ func (c *Comm) Recv(src, tag int) ([]float64, error) {
 		return nil, fmt.Errorf("mpisim: recv from self (rank %d)", c.rank)
 	}
 	return c.world.boxes[c.rank].get(src, tag), nil
+}
+
+// RecvInto blocks like Recv but copies the payload into dst (grown if its
+// capacity is short) and recycles the transport buffer into the world's
+// pool. It returns dst resized to the payload length. The hot exchange
+// paths use this so steady-state traffic is allocation-free.
+func (c *Comm) RecvInto(src, tag int, dst []float64) ([]float64, error) {
+	if src < 0 || src >= c.world.size {
+		return nil, fmt.Errorf("mpisim: recv from invalid rank %d", src)
+	}
+	if src == c.rank {
+		return nil, fmt.Errorf("mpisim: recv from self (rank %d)", c.rank)
+	}
+	data := c.world.boxes[c.rank].get(src, tag)
+	if cap(dst) < len(data) {
+		dst = make([]float64, len(data))
+	} else {
+		dst = dst[:len(data)]
+	}
+	copy(dst, data)
+	c.world.putBuf(data)
+	return dst, nil
+}
+
+// Batch accumulates asynchronous sends without the per-request allocation
+// Isend costs: requests live by value in a reusable slice. Waitall drains
+// the batch and resets it for the next exchange.
+type Batch struct{ reqs []Request }
+
+// Isend posts an asynchronous send into the batch.
+func (b *Batch) Isend(c *Comm, dst, tag int, data []float64) {
+	b.reqs = append(b.reqs, Request{err: c.Send(dst, tag, data)})
+}
+
+// Waitall waits on every batched request, returns the first error, and
+// resets the batch.
+func (b *Batch) Waitall() error {
+	var first error
+	for i := range b.reqs {
+		if err := b.reqs[i].Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.reqs = b.reqs[:0]
+	return first
 }
 
 // Internal collective tags live far above user space.
@@ -250,6 +320,80 @@ func (c *Comm) bcastFrom0(vals []float64, epoch int) ([]float64, error) {
 		}
 	}
 	return vals, nil
+}
+
+// allreduceScalar is the alloc-free single-value variant of allreduce: the
+// accumulator and receive buffer live on the Comm, and the scalar result
+// needs no escaping slice. It is wire-compatible with the slice variant
+// (same tags, same tree), so mixing them across ranks would even work; the
+// hydro exchanger uses it for the ~15 scalar reductions every timestep.
+func (c *Comm) allreduceScalar(v float64, op reduceOp, epoch int) (float64, error) {
+	size := c.world.size
+	c.acc1[0] = v
+	acc := c.acc1[:]
+	for bit := 1; bit < size; bit <<= 1 {
+		if c.rank&bit != 0 {
+			dst := c.rank &^ bit
+			if err := c.Send(dst, tagReduce+epoch, acc); err != nil {
+				return 0, err
+			}
+			break
+		}
+		src := c.rank | bit
+		if src < size {
+			got, err := c.RecvInto(src, tagReduce+epoch, c.rbuf1[:])
+			if err != nil {
+				return 0, err
+			}
+			if len(got) != 1 {
+				return 0, fmt.Errorf("mpisim: allreduce length mismatch %d vs 1", len(got))
+			}
+			op(acc, got)
+		}
+	}
+	// Scalar broadcast of rank 0's accumulator down the binomial tree.
+	top := 1
+	for top < size {
+		top <<= 1
+	}
+	if c.rank != 0 {
+		parent := c.rank &^ (c.rank & -c.rank)
+		got, err := c.RecvInto(parent, tagBcast+epoch, acc)
+		if err != nil {
+			return 0, err
+		}
+		if len(got) != 1 {
+			return 0, fmt.Errorf("mpisim: bcast length mismatch %d vs 1", len(got))
+		}
+	}
+	low := c.rank & -c.rank
+	if c.rank == 0 {
+		low = top
+	}
+	for bit := low >> 1; bit >= 1; bit >>= 1 {
+		child := c.rank | bit
+		if child < size && child != c.rank {
+			if err := c.Send(child, tagBcast+epoch, acc); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return acc[0], nil
+}
+
+// AllreduceSumScalar is the alloc-free scalar form of AllreduceSum.
+func (c *Comm) AllreduceSumScalar(v float64, epoch int) (float64, error) {
+	return c.allreduceScalar(v, opSum, 3*epoch)
+}
+
+// AllreduceMinScalar is the alloc-free scalar form of AllreduceMin.
+func (c *Comm) AllreduceMinScalar(v float64, epoch int) (float64, error) {
+	return c.allreduceScalar(v, opMin, 3*epoch+1)
+}
+
+// AllreduceMaxScalar is the alloc-free scalar form of AllreduceMax.
+func (c *Comm) AllreduceMaxScalar(v float64, epoch int) (float64, error) {
+	return c.allreduceScalar(v, opMax, 3*epoch+2)
 }
 
 // AllreduceSum returns the elementwise sum across ranks. The epoch must be

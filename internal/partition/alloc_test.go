@@ -1,0 +1,34 @@
+package partition
+
+import (
+	"testing"
+
+	"krak/internal/mesh"
+)
+
+// TestMultilevelAllocRegression guards the scratch-arena refactor: one
+// Partition call on a 12,800-cell deck at 128 parts must stay within an
+// allocation budget far below the pre-arena implementation (~52,700
+// allocs/op). The budget leaves ~50% headroom over the measured ~3,700 so
+// legitimate small changes don't trip it, while a regression back to
+// per-level maps or per-pass buffers (tens of thousands) cannot hide.
+func TestMultilevelAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition-heavy")
+	}
+	d, err := mesh.BuildLayeredDeck(160, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromMesh(d.Mesh)
+	ml := NewMultilevel(1)
+	const budget = 6000
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := ml.Partition(g, 128); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("Partition(128) allocated %.0f objects per run, budget %d", allocs, budget)
+	}
+}

@@ -174,16 +174,23 @@ type Quality struct {
 	Imbalance float64
 }
 
+// QualityOf reports the quality of an existing assignment — the single
+// place a Quality record is assembled, shared by Evaluate and callers
+// that already hold a (possibly cached) partition vector.
+func QualityOf(name string, g *Graph, part []int, k int) Quality {
+	return Quality{
+		Algorithm: name,
+		K:         k,
+		EdgeCut:   Cut(g, part),
+		Imbalance: Imbalance(g, part, k),
+	}
+}
+
 // Evaluate runs a partitioner and reports its quality.
 func Evaluate(p Partitioner, g *Graph, k int) (Quality, []int, error) {
 	part, err := p.Partition(g, k)
 	if err != nil {
 		return Quality{}, nil, err
 	}
-	return Quality{
-		Algorithm: p.Name(),
-		K:         k,
-		EdgeCut:   Cut(g, part),
-		Imbalance: Imbalance(g, part, k),
-	}, part, nil
+	return QualityOf(p.Name(), g, part, k), part, nil
 }

@@ -120,6 +120,14 @@ func Table1() []Phase {
 	return out
 }
 
+// All returns the phase list backed by the package's shared table — no
+// allocation, STRICTLY read-only: writing through the returned slice (or
+// through the inner slices Table1 also shares) corrupts the process-global
+// phase definitions and with them every determinism guarantee downstream.
+// Hot paths (the cluster simulator's per-iteration loop) use this instead
+// of Table1; anything that wants to modify phases must copy.
+func All() []Phase { return table[:] }
+
 // Get returns the phase with the given 1-based number.
 func Get(number int) (Phase, error) {
 	if number < 1 || number > Count {
@@ -188,7 +196,13 @@ type Message struct {
 //
 // Groups with zero faces on the boundary contribute no messages.
 func BoundaryExchangeMessages(b *mesh.PairBoundary) []Message {
-	var msgs []Message
+	return AppendBoundaryExchangeMessages(nil, b)
+}
+
+// AppendBoundaryExchangeMessages appends the boundary-exchange messages to
+// msgs and returns the extended slice, letting callers reuse one buffer
+// across boundaries instead of allocating per pair.
+func AppendBoundaryExchangeMessages(msgs []Message, b *mesh.PairBoundary) []Message {
 	for g := 0; g < mesh.NumExchangeGroups; g++ {
 		faces := b.FacesByGroup[g]
 		if faces == 0 {
@@ -219,8 +233,14 @@ func BoundaryExchangeMessages(b *mesh.PairBoundary) []Message {
 // for the locally owned ghost nodes and one for the remote ones, at
 // bytesPerNode each.
 func GhostUpdateMessages(b *mesh.PairBoundary, pe, bytesPerNode int) []Message {
-	return []Message{
-		{Bytes: bytesPerNode * b.Owned(pe), Step: -1},
-		{Bytes: bytesPerNode * b.Remote(pe), Step: -1},
-	}
+	return AppendGhostUpdateMessages(nil, b, pe, bytesPerNode)
+}
+
+// AppendGhostUpdateMessages appends the ghost-update messages to msgs and
+// returns the extended slice (see AppendBoundaryExchangeMessages).
+func AppendGhostUpdateMessages(msgs []Message, b *mesh.PairBoundary, pe, bytesPerNode int) []Message {
+	return append(msgs,
+		Message{Bytes: bytesPerNode * b.Owned(pe), Step: -1},
+		Message{Bytes: bytesPerNode * b.Remote(pe), Step: -1},
+	)
 }

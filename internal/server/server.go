@@ -88,6 +88,12 @@ type Server struct {
 	// shares one set of artifact caches.
 	machines engine.Cache[string, *krak.Machine]
 
+	// artifacts is the cross-machine artifact cache: every machine the
+	// server builds shares it, so requests against different platforms
+	// (networks, compute scales) still share decks, graphs, and
+	// partitions — only calibrations stay per-machine.
+	artifacts *krak.SharedArtifacts
+
 	// responses is the size-bounded LRU of rendered response bodies,
 	// keyed by canonical request. Its single-flight Do coalesces
 	// duplicate in-flight requests.
@@ -115,6 +121,7 @@ func New(cfg Config) *Server {
 		responses: engine.NewLRU[string, []byte](cfg.CacheSize),
 		batch:     newPredictBatcher(pool, cfg.BatchWindow),
 		pool:      pool,
+		artifacts: krak.NewSharedArtifacts(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -230,6 +237,7 @@ func (s *Server) machineFor(ms krak.MachineSpec) (*krak.Machine, error) {
 		if s.cfg.Parallel > 0 {
 			opts = append(opts, krak.WithParallelism(s.cfg.Parallel))
 		}
+		opts = append(opts, krak.WithSharedArtifacts(s.artifacts))
 		return krak.NewMachine(opts...)
 	}
 	// Validate before touching the cache: engine.Cache memoizes errors

@@ -4,12 +4,42 @@ import (
 	"fmt"
 	"sync"
 
+	"krak/internal/artifacts"
 	"krak/internal/compute"
 	"krak/internal/engine"
 	"krak/internal/experiments"
 	"krak/internal/mesh"
 	"krak/internal/netmodel"
 )
+
+// SharedArtifacts is a cross-machine artifact cache: decks, dual graphs,
+// and partitions resolved by any machine holding it are computed once and
+// shared by all of them (see internal/artifacts for the keying that makes
+// this safe across differing networks, cost scales, quick modes, and
+// seeds). The zero value is not usable; create one with NewSharedArtifacts
+// and attach it with WithSharedArtifacts. krak serve hangs one across its
+// whole machine cache, so requests against different platforms still share
+// every partition.
+type SharedArtifacts struct {
+	store *artifacts.Store
+}
+
+// NewSharedArtifacts returns an empty cross-machine artifact cache.
+func NewSharedArtifacts() *SharedArtifacts {
+	return &SharedArtifacts{store: artifacts.NewStore()}
+}
+
+// WithSharedArtifacts attaches a cross-machine artifact cache to the
+// machine, replacing its private one.
+func WithSharedArtifacts(sa *SharedArtifacts) MachineOption {
+	return func(m *Machine) error {
+		if sa == nil || sa.store == nil {
+			return fmt.Errorf("%w: nil shared artifacts", ErrBadOption)
+		}
+		m.env.Artifacts = sa.store
+		return nil
+	}
+}
 
 // Machine describes the platform predictions and simulations run against:
 // the interconnect, the ground-truth computation cost tables, the
@@ -251,6 +281,10 @@ func (m *Machine) featureEnv() *experiments.Env {
 		e.Seed = m.env.Seed
 		e.Quick = m.env.Quick
 		e.Repeats = m.env.Repeats
+		// Share the machine's artifact store: decks and partitions depend
+		// only on keys both environments agree on (size, quick, seed), so
+		// calibration features reuse the machine's cached partitions.
+		e.Artifacts = m.env.Store()
 		m.featEnv = e
 	})
 	return m.featEnv

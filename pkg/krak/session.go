@@ -34,20 +34,22 @@ func NewSession(m *Machine, sc *Scenario) (*Session, error) {
 	return &Session{m: m, sc: sc}, nil
 }
 
-// deck resolves the scenario's deck, using the machine's cache for
-// standard sizes.
+// deck resolves the scenario's deck through the machine's artifact store,
+// so standard and custom sizes alike are built once and shared across
+// sessions, sweep points, and server requests.
 func (s *Session) deck() (*mesh.Deck, error) {
 	if s.sc.parsed != nil {
 		return s.sc.parsed, nil
 	}
 	if s.sc.custom {
-		return mesh.BuildLayeredDeck(s.sc.w, s.sc.h)
+		return s.m.env.CustomDeck(s.sc.w, s.sc.h)
 	}
 	return s.m.env.Deck(s.sc.deckSize)
 }
 
-// partitionSummary resolves the scenario's partition, cached on the
-// machine for the default multilevel partitioner.
+// partitionSummary resolves the scenario's partition through the machine's
+// artifact store — every partitioner, not just the default multilevel one,
+// is cached per (deck, algorithm, seed, PE count).
 func (s *Session) partitionSummary(d *mesh.Deck) (*mesh.PartitionSummary, error) {
 	if s.sc.partitioner == "multilevel" {
 		return s.m.env.Partition(d, s.sc.pe)
@@ -56,12 +58,7 @@ func (s *Session) partitionSummary(d *mesh.Deck) (*mesh.PartitionSummary, error)
 	if err != nil {
 		return nil, err
 	}
-	g := partition.FromMesh(d.Mesh)
-	part, err := pr.Partition(g, s.sc.pe)
-	if err != nil {
-		return nil, err
-	}
-	return mesh.Summarize(d.Mesh, part, s.sc.pe)
+	return s.m.env.SummaryFor(d, pr, s.sc.pe)
 }
 
 func (s *Session) iterations() int {
@@ -231,8 +228,7 @@ func (s *Session) RunHydro() (*Result, error) {
 		}
 		diag = st.Diag()
 	} else {
-		g := partition.FromMesh(d.Mesh)
-		part, err := partition.NewMultilevel(s.m.env.Seed).Partition(g, s.sc.ranks)
+		part, err := s.m.env.PartitionVector(d, s.sc.ranks)
 		if err != nil {
 			return nil, err
 		}
@@ -275,12 +271,16 @@ func (s *Session) Partition() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := partition.FromMesh(d.Mesh)
-	q, part, err := partition.Evaluate(pr, g, s.sc.pe)
+	g, err := s.m.env.Graph(d)
 	if err != nil {
 		return nil, err
 	}
-	sum, err := mesh.Summarize(d.Mesh, part, s.sc.pe)
+	part, err := s.m.env.VectorFor(d, pr, s.sc.pe)
+	if err != nil {
+		return nil, err
+	}
+	q := partition.QualityOf(pr.Name(), g, part, s.sc.pe)
+	sum, err := s.m.env.SummaryFor(d, pr, s.sc.pe)
 	if err != nil {
 		return nil, err
 	}
