@@ -232,6 +232,7 @@ func parse(sc *bufio.Scanner) (*Artifact, error) {
 			continue
 		}
 		r.Pkg = pkg
+		//krakcheck:ignore boundedparse input is trusted `make bench` output from the local toolchain, one small record per benchmark line
 		art.Results = append(art.Results, r)
 	}
 	return art, sc.Err()

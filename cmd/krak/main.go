@@ -203,6 +203,9 @@ func parseIntList(flagName, s string) ([]int, error) {
 		if err != nil || n <= 0 {
 			return nil, fmt.Errorf("krak: bad -%s entry %q (want positive integers)", flagName, part)
 		}
+		if len(out) >= krak.MaxSweepPoints {
+			return nil, fmt.Errorf("krak: -%s has more than %d entries", flagName, krak.MaxSweepPoints)
+		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {

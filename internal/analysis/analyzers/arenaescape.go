@@ -1,0 +1,245 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"krak/internal/analysis"
+)
+
+// arenaMarker opts a struct type into ArenaEscape checking when it
+// appears in the type's doc comment.
+const arenaMarker = "krakcheck:arena"
+
+// ArenaEscape enforces arena hygiene (invariant 2): the buffers of a
+// scratch arena — a struct whose doc comment carries "krakcheck:arena",
+// like partition.mlScratch and cluster.Runner — are owned by the call
+// that borrows them and must not outlive it. The alloc-regression tests
+// (TestRunnerAllocRegression, the partitioner alloc guard) measure the
+// payoff of that ownership; this rule catches the aliasing bug class
+// those tests cannot see: a scratch slice escaping into a longer-lived
+// struct, which corrupts results on the *next* reuse of the arena.
+//
+// Within the arena's package, the analyzer taints expressions that alias
+// a slice- or map-typed arena field (the field itself, a reslice of it,
+// or a local assigned from one — one level of local aliasing is
+// tracked), then flags a tainted value that
+//
+//   - is returned,
+//   - is stored into a non-arena struct field or element,
+//   - is appended as a value (not spread with ...) into another slice, or
+//   - appears in a composite literal.
+//
+// Copying elements out (x[i], copy, append(dst, src...)) is fine — only
+// the backing array escaping is the bug. The tracking is deliberately
+// shallow; an escape laundered through two locals needs a human, and a
+// deliberate short-lived alias (e.g. bisect's returned side vector)
+// carries //krakcheck:ignore with the reason.
+var ArenaEscape = &analysis.Analyzer{
+	Name: "arenaescape",
+	Doc:  "forbid scratch-arena buffers (krakcheck:arena structs) escaping their owning call",
+	Run:  runArenaEscape,
+}
+
+func runArenaEscape(pass *analysis.Pass) error {
+	arenas := markedArenaTypes(pass)
+	if len(arenas) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkArenaFunc(pass, arenas, fn)
+		}
+	}
+	return nil
+}
+
+// markedArenaTypes collects the named struct types whose doc comment
+// contains the krakcheck:arena marker.
+func markedArenaTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	arenas := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc == nil || !strings.Contains(doc.Text(), arenaMarker) {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					arenas[tn] = true
+				}
+			}
+		}
+	}
+	return arenas
+}
+
+func checkArenaFunc(pass *analysis.Pass, arenas map[*types.TypeName]bool, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// isArenaExpr reports whether e is a value of (a pointer to) a marked
+	// arena type — stores into the arena's own fields are its job.
+	isArenaExpr := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && arenas[named.Obj()]
+	}
+
+	// arenaRooted reports whether the lvalue chain e (a.b.c, a.b[i], ...)
+	// is rooted at an arena value — a store into any such path keeps the
+	// buffer inside the arena that owns it.
+	var arenaRooted func(e ast.Expr) bool
+	arenaRooted = func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if isArenaExpr(e) {
+			return true
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			return arenaRooted(x.X)
+		case *ast.IndexExpr:
+			return arenaRooted(x.X)
+		}
+		return false
+	}
+
+	// scratchSel reports whether e selects a slice/map-typed field of an
+	// arena value.
+	scratchSel := func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || !isArenaExpr(sel.X) {
+			return false
+		}
+		switch info.TypeOf(sel).Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+		return false
+	}
+
+	tainted := make(map[types.Object]bool)
+	var taintedExpr func(e ast.Expr) bool
+	taintedExpr = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			return taintedExpr(e.X)
+		case *ast.Ident:
+			obj := info.Uses[e]
+			return obj != nil && tainted[obj]
+		case *ast.SelectorExpr:
+			return scratchSel(e)
+		}
+		return false
+	}
+
+	// Fixed-point pass over simple assignments to pick up one (or more,
+	// via iteration) levels of local aliasing: x := scr.buf; y := x[:n].
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || !taintedExpr(as.Rhs[i]) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(pos ast.Node, what string) {
+		pass.Report(analysis.Diagnostic{
+			Pos: pos.Pos(),
+			Message: "scratch-arena buffer " + what +
+				" escapes its owning call; arena memory is reused and must not outlive the call",
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if taintedExpr(res) {
+					report(res, "("+types.ExprString(res)+") returned")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !taintedExpr(n.Rhs[i]) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if !arenaRooted(l.X) {
+						report(n.Rhs[i], "("+types.ExprString(n.Rhs[i])+") stored into "+types.ExprString(l))
+					}
+				case *ast.IndexExpr:
+					if !taintedExpr(l.X) && !scratchSel(l.X) {
+						report(n.Rhs[i], "("+types.ExprString(n.Rhs[i])+") stored into "+types.ExprString(l))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.TypesInfo, n, "append") && len(n.Args) > 1 {
+				for _, arg := range n.Args[1:] {
+					// append(dst, scr.buf...) copies elements and is fine;
+					// append(dst, scr.buf) stores the alias.
+					if n.Ellipsis.IsValid() && arg == n.Args[len(n.Args)-1] {
+						continue
+					}
+					if taintedExpr(arg) {
+						report(arg, "("+types.ExprString(arg)+") appended into another slice")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if taintedExpr(v) {
+					report(v, "("+types.ExprString(v)+") placed in a composite literal")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"krak/internal/analysis"
+)
+
+// BoundedParse enforces bounded-parse discipline (invariant 4): a parser
+// fed untrusted bytes (deck files, machine files, calibration datasets,
+// server request bodies) must consult an explicit cap — a Max*/max*
+// constant comparison or http.MaxBytesReader — before growing memory by
+// an input-derived amount. The fuzz harnesses (FuzzParseDeck,
+// FuzzParseMachineFile, FuzzDecodeRequest, FuzzParseDataset) assert the
+// parsers never blow up; this rule keeps the cap from being deleted or a
+// new parser from shipping without one.
+//
+// Mechanically: in any function whose name starts with Parse/Decode/
+// Unmarshal/Read (any casing), if no identifier matching max* appears in
+// a size comparison and http.MaxBytesReader is never called, then every
+// `make` with a non-constant size and every `append` inside a loop is
+// flagged.
+var BoundedParse = &analysis.Analyzer{
+	Name: "boundedparse",
+	Doc:  "parsers must check a Max* cap (or http.MaxBytesReader) before input-driven make/append growth",
+	Run:  runBoundedParse,
+}
+
+var parserPrefixes = []string{"parse", "decode", "unmarshal", "read"}
+
+func isParserName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range parserPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runBoundedParse(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isParserName(fn.Name.Name) {
+				continue
+			}
+			if consultsCap(pass, fn.Body) {
+				continue
+			}
+			flagUnboundedGrowth(pass, fn)
+		}
+	}
+	return nil
+}
+
+// consultsCap reports whether the body contains a comparison mentioning a
+// max*-named identifier, or a call to http.MaxBytesReader.
+func consultsCap(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op.String() {
+			case "<", "<=", ">", ">=", "==", "!=":
+				if mentionsMaxIdent(n.X) || mentionsMaxIdent(n.Y) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "MaxBytesReader" &&
+				pkgNameOf(pass.TypesInfo, sel.X) == "net/http" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsMaxIdent(e ast.Expr) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.HasPrefix(strings.ToLower(id.Name), "max") {
+			hit = true
+		}
+		return !hit
+	})
+	return hit
+}
+
+func flagUnboundedGrowth(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if m.Body != nil {
+					walk(m.Body, true)
+				}
+				return false
+			case *ast.RangeStmt:
+				if m.Body != nil {
+					walk(m.Body, true)
+				}
+				return false
+			case *ast.CallExpr:
+				if isBuiltin(info, m, "make") && len(m.Args) >= 2 {
+					if tv, ok := info.Types[m.Args[1]]; ok && tv.Value == nil {
+						pass.Report(analysis.Diagnostic{
+							Pos: m.Pos(),
+							Message: "parser " + fn.Name.Name + " makes an input-sized allocation " +
+								"without consulting a Max* cap; bound the size first",
+						})
+					}
+				}
+				if inLoop && isBuiltin(info, m, "append") {
+					pass.Report(analysis.Diagnostic{
+						Pos: m.Pos(),
+						Message: "parser " + fn.Name.Name + " grows a slice in a loop " +
+							"without consulting a Max* cap; enforce a bound before appending",
+					})
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+}

@@ -1,0 +1,138 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"krak/internal/analysis"
+)
+
+// CtxFlow enforces context propagation (invariant 5): concurrency in this
+// codebase flows through internal/engine, whose pools and caches are
+// cancellation-aware, so cancellation only works end to end if every
+// exported function that starts concurrent work threads a caller context
+// down to it. Two mechanical checks:
+//
+//  1. An exported function that launches a goroutine or calls into
+//     internal/engine must accept a context.Context (an *http.Request
+//     parameter counts — handlers thread r.Context()).
+//  2. A function that has a ctx parameter must not manufacture a fresh
+//     root with context.Background()/context.TODO(); that silently
+//     detaches the work the caller thinks it can cancel.
+//
+// internal/engine itself is exempt from check 1: it is the primitive
+// layer these signatures thread ctx into. Long-lived background workers
+// whose lifecycle is intentionally tied to a struct (not a call) carry a
+// reasoned //krakcheck:ignore.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported spawners must accept ctx; functions given ctx must not detach via Background/TODO",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	isEngine := pathBase(pass.PkgPath) == "engine"
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hasCtx := hasCtxParam(pass, fn)
+			if hasCtx {
+				flagDetachedContexts(pass, fn)
+			}
+			if !hasCtx && !isEngine && !isMain && fn.Name.IsExported() && spawnsWork(pass, fn) {
+				pass.Report(analysis.Diagnostic{
+					Pos: fn.Name.Pos(),
+					Message: "exported " + fn.Name.Name + " starts concurrent work but has no " +
+						"context.Context parameter; accept and thread ctx so callers can cancel",
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function can reach a caller context: a
+// context.Context parameter, or an *http.Request parameter (r.Context()).
+func hasCtxParam(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isContextType(t) {
+			return true
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			if named, ok := p.Elem().(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// spawnsWork reports whether the body launches a goroutine or calls an
+// internal/engine function that itself demands a context (engine.Map and
+// friends) — a function without a ctx parameter can only satisfy such a
+// callee by manufacturing a root context, which detaches the work.
+// Engine calls that run inline and take no ctx (Cache.Get, New, Workers)
+// are configuration, not spawning, and are not flagged.
+func spawnsWork(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			found = true
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.TypesInfo, n)
+			if callee == nil || callee.Pkg() == nil || pathBase(callee.Pkg().Path()) != "engine" {
+				break
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok {
+				break
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isContextType(sig.Params().At(i).Type()) {
+					found = true
+					break
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// flagDetachedContexts reports context.Background()/TODO() calls inside a
+// function that already has a caller context to thread.
+func flagDetachedContexts(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		if pkgNameOf(pass.TypesInfo, sel.X) == "context" {
+			pass.Report(analysis.Diagnostic{
+				Pos: call.Pos(),
+				Message: fn.Name.Name + " has a ctx parameter but creates context." + sel.Sel.Name +
+					"(); thread the parameter instead of detaching the work",
+			})
+		}
+		return true
+	})
+}

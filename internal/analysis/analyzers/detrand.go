@@ -1,0 +1,94 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+
+	"krak/internal/analysis"
+)
+
+// modelPackages are the packages whose outputs are golden-pinned and must
+// be bit-reproducible at a fixed seed: everything between a deck and a
+// rendered experiment table. Matched by import-path base so analysistest
+// fixtures (package path "hydro") scope like the real tree
+// ("krak/internal/hydro").
+var modelPackages = map[string]bool{
+	"partition":   true,
+	"cluster":     true,
+	"phases":      true,
+	"hydro":       true,
+	"mpisim":      true,
+	"netmodel":    true,
+	"experiments": true,
+}
+
+// randPackages are the randomness sources model code must not import:
+// all randomized model decisions flow from seeded stats.SplitMix64
+// streams so equal seeds give byte-identical partitions and simulations.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// wallClockFuncs are the time-package functions that read or depend on
+// the host clock; any of them in a model package makes output depend on
+// the machine the model ran on.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// DetRand enforces determinism invariant (1b): model packages take
+// randomness only from seeded stats.SplitMix64 and never read the wall
+// clock. The parallel==serial byte-identity suite and the 17 goldens
+// assume it; this rule catches the violation at review time instead of
+// as a flaky golden.
+var DetRand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand and wall-clock reads in model packages (seeded stats.SplitMix64 only)",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *analysis.Pass) error {
+	if !modelPackages[pathBase(pass.PkgPath)] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if randPackages[path] {
+				pass.Report(analysis.Diagnostic{
+					Pos: imp.Pos(),
+					Message: "model package imports " + path +
+						"; derive randomness from a seeded stats.SplitMix64 instead",
+				})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgNameOf(pass.TypesInfo, sel.X) == "time" && wallClockFuncs[sel.Sel.Name] {
+				pass.Report(analysis.Diagnostic{
+					Pos: sel.Pos(),
+					Message: "model package reads the wall clock (time." + sel.Sel.Name +
+						"); model output must depend only on inputs and seed",
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}

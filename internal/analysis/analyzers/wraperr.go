@@ -1,0 +1,283 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"krak/internal/analysis"
+)
+
+// WrapErr enforces typed-error discipline (invariant 3): every error a
+// pkg/krak function returns must be provably matchable with errors.Is
+// against the package's sentinel set (the package-level Err* variables) —
+// the contract pkg/krak/errors_test.go's errors.Is tables verify per
+// sentinel, generalized to every return path.
+//
+// An error expression is "disciplined" when it is nil, an Err* sentinel,
+// fmt.Errorf with a %w verb wrapping a disciplined argument,
+// errors.Join of at least one disciplined argument, ctx.Err() (callers
+// match context.Canceled/DeadlineExceeded directly), a call into the
+// same package (whose own returns this analyzer already checks — the
+// recursion the invariant asks for), or a local variable all of whose
+// assignments are disciplined. Anything else — most commonly an error
+// from an internal/ package returned raw — is flagged: callers cannot
+// errors.Is it against the public set, so it is an undocumented API.
+var WrapErr = &analysis.Analyzer{
+	Name: "wraperr",
+	Doc:  "pkg/krak returns must wrap a package sentinel (fmt.Errorf(\"...: %w\", ErrX)) on every path",
+	Run:  runWrapErr,
+}
+
+func runWrapErr(pass *analysis.Pass) error {
+	// Scope: the public facade package (pkg/krak, fixture path "krak").
+	// cmd/krak shares the path base but is package main — its errors go
+	// to stderr, not through errors.Is.
+	if pathBase(pass.PkgPath) != "krak" || pass.Pkg.Name() != "krak" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !returnsError(pass, fn) {
+				continue
+			}
+			checkWrapFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func returnsError(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func checkWrapFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// assigns records every RHS expression assigned to each local object,
+	// so `return err` can be judged by what err could hold. A multi-value
+	// `v, err := call()` records the call itself.
+	assigns := make(map[types.Object][]ast.Expr)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			assigns[obj] = append(assigns[obj], rhs)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			} else if len(n.Rhs) == 1 {
+				for _, lhs := range n.Lhs {
+					record(lhs, n.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			} else if len(n.Values) == 1 {
+				for _, name := range n.Names {
+					record(name, n.Values[0])
+				}
+			}
+		}
+		return true
+	})
+
+	seen := make(map[types.Object]bool)
+	var disciplined func(e ast.Expr) bool
+	disciplined = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				return false
+			}
+			if _, isNil := obj.(*types.Nil); isNil {
+				return true
+			}
+			return disciplinedObj(pass, obj, assigns, seen, disciplined)
+		case *ast.SelectorExpr:
+			obj := info.Uses[e.Sel]
+			if obj == nil {
+				return false
+			}
+			return disciplinedObj(pass, obj, assigns, seen, disciplined)
+		case *ast.CallExpr:
+			return disciplinedCall(pass, e, disciplined)
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		results := ret.Results
+		if len(results) == 0 {
+			// Bare return with named results: judge the named error vars.
+			for _, field := range fn.Type.Results.List {
+				for _, name := range field.Names {
+					obj := info.Defs[name]
+					if obj == nil || !isErrorType(obj.Type()) {
+						continue
+					}
+					if !disciplinedObj(pass, obj, assigns, seen, disciplined) {
+						reportWrap(pass, ret.Pos(), name.Name)
+					}
+				}
+			}
+			return true
+		}
+		// return f() forwarding a (T, error) tuple: judge the call itself.
+		if len(results) == 1 {
+			if call, ok := ast.Unparen(results[0]).(*ast.CallExpr); ok {
+				if tup, ok := info.TypeOf(call).(*types.Tuple); ok {
+					hasErr := false
+					for i := 0; i < tup.Len(); i++ {
+						if isErrorType(tup.At(i).Type()) {
+							hasErr = true
+						}
+					}
+					if hasErr && !disciplined(results[0]) {
+						reportWrap(pass, results[0].Pos(), types.ExprString(results[0]))
+					}
+					return true
+				}
+			}
+		}
+		for _, res := range results {
+			t := info.TypeOf(res)
+			if t == nil || !isErrorType(t) {
+				continue
+			}
+			if !disciplined(res) {
+				reportWrap(pass, res.Pos(), types.ExprString(res))
+			}
+		}
+		return true
+	})
+}
+
+func reportWrap(pass *analysis.Pass, pos token.Pos, what string) {
+	pass.Report(analysis.Diagnostic{
+		Pos: pos,
+		Message: "error " + what + " is not sentinel-wrapped on every path; " +
+			"wrap it: fmt.Errorf(\"...: %w\", ErrX, ...) so callers can errors.Is it",
+	})
+}
+
+func disciplinedObj(pass *analysis.Pass, obj types.Object, assigns map[types.Object][]ast.Expr,
+	seen map[types.Object]bool, disciplined func(ast.Expr) bool) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// Package-level Err* sentinels of this package are the ground truth.
+	if v.Pkg() == pass.Pkg && v.Parent() == pass.Pkg.Scope() {
+		return strings.HasPrefix(v.Name(), "Err")
+	}
+	if seen[obj] {
+		return true // cycle: optimistic, another path decides
+	}
+	seen[obj] = true
+	defer delete(seen, obj)
+	rhss := assigns[obj]
+	if len(rhss) == 0 {
+		return false // parameter, capture, or field: provenance unknown
+	}
+	for _, rhs := range rhss {
+		if !disciplined(rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+func disciplinedCall(pass *analysis.Pass, call *ast.CallExpr, disciplined func(ast.Expr) bool) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		// Calling a function value: trust it when its type is a named
+		// function type declared in this package (MachineOption,
+		// ScenarioOption, ...) — the package's own constructors produce
+		// those values and are themselves checked by this analyzer.
+		if t := pass.TypesInfo.TypeOf(call.Fun); t != nil {
+			if named, ok := t.(*types.Named); ok {
+				if _, isFunc := named.Underlying().(*types.Signature); isFunc && named.Obj().Pkg() == pass.Pkg {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// ctx.Err(): context cancellation sentinels are part of the contract.
+	if fn.Name() == "Err" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isContextType(sig.Recv().Type()) {
+			return true
+		}
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		if fn.Name() != "Errorf" || len(call.Args) < 2 {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return false
+		}
+		if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+			return false
+		}
+		for _, arg := range call.Args[1:] {
+			if disciplined(arg) {
+				return true
+			}
+		}
+		return false
+	case "errors":
+		if fn.Name() != "Join" {
+			return false
+		}
+		for _, arg := range call.Args {
+			if disciplined(arg) {
+				return true
+			}
+		}
+		return false
+	}
+	// A call into this package: its own returns are checked by this
+	// analyzer, so trusting it here is the recursive case, not a hole.
+	return fn.Pkg() == pass.Pkg
+}

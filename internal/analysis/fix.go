@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"maps"
+	"os"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// ApplyFixes applies the first suggested fix of every finding that has
+// one, rewriting files in place, and returns the paths it changed.
+// Overlapping edits within a file are resolved first-come (later
+// conflicting fixes are skipped — rerunning krakcheck picks them up).
+func ApplyFixes(findings []Finding) ([]string, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	fileEdits := make(map[string][]edit)
+	fileImports := make(map[string][]string)
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		fix := f.Fixes[0]
+		for _, e := range fix.Edits {
+			p0, p1 := f.Fset.Position(e.Pos), f.Fset.Position(e.End)
+			if p0.Filename == "" || p1.Filename != p0.Filename {
+				return nil, fmt.Errorf("analysis: fix for %q has edit spanning files", f.Message)
+			}
+			fileEdits[p0.Filename] = append(fileEdits[p0.Filename], edit{p0.Offset, p1.Offset, e.NewText})
+		}
+		if len(fix.Edits) > 0 {
+			name := f.Fset.Position(fix.Edits[0].Pos).Filename
+			fileImports[name] = append(fileImports[name], fix.AddImports...)
+		}
+	}
+
+	var changed []string
+	for _, name := range slices.Sorted(maps.Keys(fileEdits)) {
+		edits := fileEdits[name]
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		// Apply back-to-front so earlier offsets stay valid; drop edits
+		// that overlap an already-applied one.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		lastStart := len(src) + 1
+		for _, e := range edits {
+			if e.end > lastStart || e.start > e.end || e.end > len(src) {
+				continue
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+			lastStart = e.start
+		}
+		src = addImports(src, fileImports[name])
+		out, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixed %s does not format (fix left invalid code): %w", name, err)
+		}
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return nil, err
+		}
+		changed = append(changed, name)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// addImports textually inserts any of paths not already imported. It
+// understands the two common layouts (a parenthesized import block, a
+// lone import line) and otherwise inserts a new block after the package
+// clause; format.Source in the caller normalizes the result.
+func addImports(src []byte, paths []string) []byte {
+	s := string(src)
+	var missing []string
+	seen := map[string]bool{}
+	for _, p := range paths {
+		q := `"` + p + `"`
+		if seen[p] || strings.Contains(s, q) {
+			continue
+		}
+		seen[p] = true
+		missing = append(missing, q)
+	}
+	if len(missing) == 0 {
+		return src
+	}
+	sort.Strings(missing)
+	if i := strings.Index(s, "\nimport ("); i >= 0 {
+		at := i + len("\nimport (")
+		return []byte(s[:at] + "\n\t" + strings.Join(missing, "\n\t") + s[at:])
+	}
+	if i := strings.Index(s, "\nimport \""); i >= 0 {
+		nl := strings.Index(s[i+1:], "\n")
+		if nl < 0 {
+			nl = len(s) - i - 1
+		}
+		line := s[i+1 : i+1+nl]
+		existing := strings.TrimPrefix(line, "import ")
+		block := "import (\n\t" + existing + "\n\t" + strings.Join(missing, "\n\t") + "\n)"
+		return []byte(s[:i+1] + block + s[i+1+nl:])
+	}
+	// No imports yet: add a block right after the package clause line.
+	if i := strings.Index(s, "package "); i >= 0 {
+		if nl := strings.Index(s[i:], "\n"); nl >= 0 {
+			at := i + nl + 1
+			return []byte(s[:at] + "\nimport (\n\t" + strings.Join(missing, "\n\t") + "\n)\n" + s[at:])
+		}
+	}
+	return src
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreRule is the pseudo-rule name under which the framework reports
+// malformed //krakcheck:ignore directives (missing rule or reason).
+const ignoreRule = "ignore"
+
+// ignoreDirective is one parsed //krakcheck:ignore comment.
+type ignoreDirective struct {
+	pos    token.Pos
+	line   int
+	file   string
+	rules  []string // rule names the directive silences
+	reason string
+}
+
+const ignorePrefix = "//krakcheck:ignore"
+
+// collectIgnores extracts every //krakcheck:ignore directive from the
+// package's files. Directives missing a rule or a reason are returned as
+// diagnostics instead — a suppression that does not say why it is safe is
+// itself a violation.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     c.Pos(),
+						Rule:    ignoreRule,
+						Message: "krakcheck:ignore needs a rule and a reason: //krakcheck:ignore <rule> <why this is safe>",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				dirs = append(dirs, ignoreDirective{
+					pos:    c.Pos(),
+					line:   p.Line,
+					file:   p.Filename,
+					rules:  strings.Split(fields[0], ","),
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether d is silenced by a directive on its own line
+// or the line directly above it.
+func suppressed(fset *token.FileSet, d Diagnostic, dirs []ignoreDirective) bool {
+	p := fset.Position(d.Pos)
+	for _, dir := range dirs {
+		if dir.file != p.Filename || (dir.line != p.Line && dir.line != p.Line-1) {
+			continue
+		}
+		for _, r := range dir.rules {
+			if r == d.Rule || r == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The malformed-directive behavior cannot be expressed as an analysistest
+// fixture: any trailing `// want` text would be swallowed as the
+// directive's reason, making it well-formed. So the directive parser and
+// the suppression window are pinned here directly.
+
+func parseIgnoreSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCollectIgnoresParsesRulesAndReason(t *testing.T) {
+	fset, files := parseIgnoreSrc(t, `package p
+
+//krakcheck:ignore maprange,detrand integer sum is order independent
+var x = 1
+`)
+	dirs, bad := collectIgnores(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("well-formed directive reported as bad: %v", bad)
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	d := dirs[0]
+	if len(d.rules) != 2 || d.rules[0] != "maprange" || d.rules[1] != "detrand" {
+		t.Errorf("rules = %v, want [maprange detrand]", d.rules)
+	}
+	if d.reason != "integer sum is order independent" {
+		t.Errorf("reason = %q", d.reason)
+	}
+	if d.line != 3 {
+		t.Errorf("line = %d, want 3", d.line)
+	}
+}
+
+func TestCollectIgnoresFlagsMissingReason(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//krakcheck:ignore\nvar x = 1\n",
+		"package p\n\n//krakcheck:ignore maprange\nvar x = 1\n",
+	} {
+		fset, files := parseIgnoreSrc(t, src)
+		dirs, bad := collectIgnores(fset, files)
+		if len(dirs) != 0 {
+			t.Errorf("malformed directive accepted: %v", dirs)
+		}
+		if len(bad) != 1 {
+			t.Fatalf("got %d diagnostics, want 1", len(bad))
+		}
+		if bad[0].Rule != ignoreRule {
+			t.Errorf("rule = %q, want %q", bad[0].Rule, ignoreRule)
+		}
+		if !strings.Contains(bad[0].Message, "needs a rule and a reason") {
+			t.Errorf("message = %q", bad[0].Message)
+		}
+	}
+}
+
+func TestSuppressedWindow(t *testing.T) {
+	// Directive on line 3; diagnostics land via a synthetic position table.
+	fset, files := parseIgnoreSrc(t, `package p
+
+//krakcheck:ignore maprange reads are order independent
+var a = 1
+var b = 2
+var c = 3
+`)
+	dirs, bad := collectIgnores(fset, files)
+	if len(bad) != 0 || len(dirs) != 1 {
+		t.Fatalf("unexpected parse: dirs=%v bad=%v", dirs, bad)
+	}
+	posOnLine := func(line int) token.Pos {
+		f := fset.File(files[0].Pos())
+		return f.LineStart(line)
+	}
+	cases := []struct {
+		line int
+		rule string
+		want bool
+	}{
+		{3, "maprange", true},  // same line as the directive
+		{4, "maprange", true},  // line directly below
+		{5, "maprange", false}, // two lines below: outside the window
+		{4, "detrand", false},  // different rule
+	}
+	for _, c := range cases {
+		d := Diagnostic{Pos: posOnLine(c.line), Rule: c.rule}
+		if got := suppressed(fset, d, dirs); got != c.want {
+			t.Errorf("suppressed(line %d, rule %s) = %v, want %v", c.line, c.rule, got, c.want)
+		}
+	}
+}
+
+func TestSuppressedAllRule(t *testing.T) {
+	fset, files := parseIgnoreSrc(t, `package p
+
+//krakcheck:ignore all generated file, exempt from every rule
+var a = 1
+`)
+	dirs, _ := collectIgnores(fset, files)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	f := fset.File(files[0].Pos())
+	d := Diagnostic{Pos: f.LineStart(4), Rule: "wraperr"}
+	if !suppressed(fset, d, dirs) {
+		t.Error("krakcheck:ignore all did not suppress an arbitrary rule")
+	}
+}

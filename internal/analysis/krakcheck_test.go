@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"krak/internal/analysis"
+	"krak/internal/analysis/analyzers"
+)
+
+// TestKrakcheckRepoClean is the driver-level guarantee behind `make
+// lint`: the full krakcheck suite over the whole module reports nothing.
+// A new violation anywhere in the repo fails this test with the same
+// file:line message the CLI would print.
+func TestKrakcheckRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	findings, err := analysis.Run(pkgs, analyzers.All())
+	if err != nil {
+		t.Fatalf("running krakcheck: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}

@@ -1,0 +1,64 @@
+// Package arena is the arenaescape fixture: buffers of a marked scratch
+// arena must not outlive the call that borrows them.
+package arena
+
+// scratch is reusable working memory.
+//
+// krakcheck:arena
+type scratch struct {
+	buf []int
+	sub nested
+}
+
+type nested struct{ a []int }
+
+// holder outlives any single call.
+type holder struct{ kept []int }
+
+func Returned(s *scratch) []int {
+	return s.buf // want "returned escapes its owning call"
+}
+
+func ReturnedAlias(s *scratch) []int {
+	b := s.buf[:0]
+	return b // want "returned escapes its owning call"
+}
+
+func StoredOutside(s *scratch, h *holder) {
+	h.kept = s.buf // want "stored into h.kept"
+}
+
+func StoredInMap(s *scratch, m map[string][]int) {
+	m["k"] = s.buf // want `stored into m\["k"\]`
+}
+
+func Appended(s *scratch, lists [][]int) [][]int {
+	return append(lists, s.buf) // want "appended into another slice"
+}
+
+func Composite(s *scratch) holder {
+	return holder{kept: s.buf} // want "placed in a composite literal"
+}
+
+// Stores anywhere inside the arena keep the buffer with its owner.
+func CleanInternalAlias(s *scratch) {
+	s.sub.a = s.buf
+}
+
+// Copying elements out is the sanctioned way to publish results.
+func CleanCopy(s *scratch) []int {
+	out := make([]int, len(s.buf))
+	copy(out, s.buf)
+	return out
+}
+
+// Spread-append copies elements, not the backing array.
+func CleanSpread(s *scratch, dst []int) []int {
+	return append(dst, s.buf...)
+}
+
+// A deliberate short-lived borrow carries a reasoned ignore.
+func CleanIgnoredBorrow(s *scratch) []int {
+	//krakcheck:ignore arenaescape caller consumes the borrow before the next call reuses the arena
+	return s.buf
+}

@@ -1,0 +1,72 @@
+// Package flow is the ctxflow fixture: exported spawners must accept a
+// context, and functions given one must not detach via Background/TODO.
+package flow
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"krak/internal/engine"
+)
+
+// Spawns launches a goroutine with no way for callers to cancel it.
+func Spawns(work func()) { // want "starts concurrent work but has no"
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// FansOut calls a ctx-demanding engine function without a ctx parameter.
+func FansOut(p *engine.Pool, n int) ([]int, error) { // want "starts concurrent work but has no"
+	return engine.Map(context.TODO(), p, n, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+}
+
+// SpawnsWithCtx threads the caller's context: clean.
+func SpawnsWithCtx(ctx context.Context, p *engine.Pool, n int) ([]int, error) {
+	return engine.Map(ctx, p, n, func(_ context.Context, i int) (int, error) {
+		return i + 1, nil
+	})
+}
+
+// Handler reaches the caller context through *http.Request: clean.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	ch := make(chan struct{})
+	go func() {
+		close(ch)
+	}()
+	select {
+	case <-ch:
+	case <-r.Context().Done():
+	}
+}
+
+// Detaches has a ctx but manufactures a fresh root anyway.
+func Detaches(ctx context.Context, p *engine.Pool, n int) ([]int, error) {
+	return engine.Map(context.Background(), p, n, func(_ context.Context, i int) (int, error) { // want `Detaches has a ctx parameter but creates context.Background\(\)`
+		return i, nil
+	})
+}
+
+// unexported helpers are wiring, not API surface: clean.
+func spawn(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// DetachedWorker documents why its goroutine outlives the call.
+//
+//krakcheck:ignore ctxflow fixture worker lifecycle is owned by the struct, not the call
+func DetachedWorker(work func()) {
+	go work()
+}

@@ -1,0 +1,36 @@
+// Package hydro is the detrand fixture for a model package: its import
+// path base ("hydro") matches the real krak/internal/hydro, so rand
+// imports and wall-clock reads are violations while seeded
+// stats.SplitMix64 streams are the sanctioned randomness source.
+package hydro
+
+import (
+	"math/rand" // want "model package imports math/rand"
+	"time"
+
+	"krak/internal/stats"
+)
+
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+func Stamp() float64 {
+	t := time.Now() // want `model package reads the wall clock \(time.Now\)`
+	return float64(t.Unix())
+}
+
+func Wait(d time.Duration) {
+	time.Sleep(d) // want `model package reads the wall clock \(time.Sleep\)`
+}
+
+// Seeded randomness is the sanctioned source.
+func CleanSeeded(seed uint64) uint64 {
+	rng := stats.NewSplitMix64(seed)
+	return rng.Next()
+}
+
+// time.Duration arithmetic without reading the clock is fine.
+func CleanDuration(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}

@@ -1,0 +1,96 @@
+// Package krak is the wraperr fixture for the public facade: every
+// error returned must be provably errors.Is-matchable against the
+// package's Err* sentinel set.
+package krak
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrBad is the fixture's sentinel.
+var ErrBad = errors.New("krak: bad")
+
+func CleanSentinel() error {
+	return ErrBad
+}
+
+func CleanWrapped(detail int) error {
+	return fmt.Errorf("%w: detail %d", ErrBad, detail)
+}
+
+func CleanNil() error {
+	return nil
+}
+
+func CleanJoin(err error) error {
+	return errors.Join(ErrBad, err)
+}
+
+func CleanCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Calls into the same package are trusted: their returns are checked too.
+func CleanForwarded() error {
+	return CleanWrapped(1)
+}
+
+func FlaggedNew() error {
+	return errors.New("raw") // want "not sentinel-wrapped"
+}
+
+func FlaggedParam(err error) error {
+	return err // want "not sentinel-wrapped"
+}
+
+func FlaggedVerb() error {
+	return fmt.Errorf("lost the chain: %v", ErrBad) // want "not sentinel-wrapped"
+}
+
+// A cross-package error returned raw is the classic violation.
+func FlaggedCrossPackage(name string) error {
+	_, err := os.ReadFile(name)
+	return err // want "not sentinel-wrapped"
+}
+
+// Tuple forwarding must be judged like any other return.
+func FlaggedTuple(name string) ([]byte, error) {
+	return os.ReadFile(name) // want "not sentinel-wrapped"
+}
+
+func CleanTupleWrapped(name string) ([]byte, error) {
+	b, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading %s: %w", ErrBad, name, err)
+	}
+	return b, nil
+}
+
+// A local whose every assignment is disciplined is disciplined.
+func CleanLocal(flag bool) error {
+	var err error
+	if flag {
+		err = fmt.Errorf("%w: flagged", ErrBad)
+	}
+	return err
+}
+
+// Option is the named-function-type pattern: values of a package-declared
+// function type are produced by this package's own checked constructors.
+type Option func(*config) error
+
+type config struct{ n int }
+
+func CleanOptionCall(opt Option) error {
+	c := &config{}
+	return opt(c)
+}
+
+// Named results on a bare return are judged by their assignments.
+func FlaggedBareReturn(name string) (err error) {
+	_, err = os.ReadFile(name)
+	return // want "not sentinel-wrapped"
+}

@@ -1,0 +1,60 @@
+// Package maprange is the fixture for the maprange analyzer: map
+// iteration whose order can reach output is flagged; the two
+// order-insensitive idioms and reasoned ignores are not.
+package maprange
+
+import "sort"
+
+// Formatted output in iteration order: the classic golden-breaker.
+func Flagged(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m has nondeterministic order"
+		out = append(out, k+"=seen")
+	}
+	return out
+}
+
+// Ranging with the value is just as order-dependent.
+func FlaggedWithValue(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "range over map m has nondeterministic order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// The extract-then-sort prelude is the sanctioned idiom.
+func CleanSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clearing a map cannot observe iteration order.
+func CleanClear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// An order-insensitive reduction carries a reasoned ignore.
+func CleanIgnored(m map[string]int) int {
+	n := 0
+	//krakcheck:ignore maprange integer sum over values is iteration-order independent
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Ranging a slice is never flagged.
+func CleanSlice(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

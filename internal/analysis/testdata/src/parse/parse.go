@@ -1,0 +1,72 @@
+// Package parse is the boundedparse fixture: Parse/Decode/Unmarshal/Read
+// functions must consult a Max* cap (or http.MaxBytesReader) before
+// input-driven allocation.
+package parse
+
+import (
+	"net/http"
+	"strings"
+)
+
+const maxItems = 1024
+
+// ParseSized allocates input-many entries without any cap check.
+func ParseSized(counts []int) [][]byte {
+	out := make([][]byte, 0, len(counts))
+	for _, n := range counts {
+		out = append(out, make([]byte, n)) // want "makes an input-sized allocation" "grows a slice in a loop"
+	}
+	return out
+}
+
+// DecodeLines grows in a loop with no bound.
+func DecodeLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		out = append(out, line) // want "grows a slice in a loop"
+	}
+	return out
+}
+
+// ParseBounded consults the cap before growing: clean.
+func ParseBounded(s string) ([]string, error) {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if len(out) >= maxItems {
+			return nil, errTooMany
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}
+
+// ReadBody defers the bound to http.MaxBytesReader: clean.
+func ReadBody(w http.ResponseWriter, r *http.Request, n int) []byte {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	return make([]byte, n)
+}
+
+// Transform is not a parser by name, so growth is not its problem.
+func Transform(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		out = append(out, strings.ToUpper(line))
+	}
+	return out
+}
+
+// ParseTrusted reads trusted local input and says so.
+func ParseTrusted(lines []string) []string {
+	var out []string
+	for _, line := range lines {
+		//krakcheck:ignore boundedparse fixture input is trusted and statically small
+		out = append(out, line)
+	}
+	return out
+}
+
+type sentinelError string
+
+func (e sentinelError) Error() string { return string(e) }
+
+const errTooMany = sentinelError("parse: too many items")

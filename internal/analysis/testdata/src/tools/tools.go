@@ -1,0 +1,17 @@
+// Package tools is the detrand counter-fixture: its import path base is
+// not a model package, so wall clocks and math/rand are allowed (CLIs
+// and servers measure real time on purpose).
+package tools
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+func Shuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}

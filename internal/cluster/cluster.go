@@ -154,6 +154,8 @@ type message struct {
 // allocation-free apart from the Result it returns. A Runner is not safe
 // for concurrent use; concurrent callers each create their own (the summary
 // itself is read-only and freely shared).
+//
+// krakcheck:arena
 type Runner struct {
 	sum      *mesh.PartitionSummary
 	inbox    [][]message

@@ -79,9 +79,11 @@ const maxCompression = 3.0
 // phases. Wall-clock per-phase times are accumulated into timers when
 // non-nil.
 func Step(s *State, ex Exchanger, timers *PhaseSeconds) error {
+	//krakcheck:ignore detrand phase timers are a wall-clock profile of this run; the physics state never reads them
 	tick := time.Now()
 	lap := func(ph int) {
 		if timers != nil {
+			//krakcheck:ignore detrand same wall-clock profile as above
 			now := time.Now()
 			timers[ph-1] += now.Sub(tick).Seconds()
 			tick = now

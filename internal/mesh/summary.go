@@ -122,6 +122,7 @@ func (s *PartitionSummary) MaxNeighbors() int {
 // different processors (the quantity Metis minimizes).
 func (s *PartitionSummary) EdgeCut() int {
 	cut := 0
+	//krakcheck:ignore maprange integer sum over map values is iteration-order independent
 	for _, b := range s.Pairs {
 		cut += b.TotalFaces
 	}
@@ -275,8 +276,20 @@ func Summarize(m *Mesh, part []int, p int) (*PartitionSummary, error) {
 		}
 	}
 
-	// Neighbor lists.
+	// Neighbor lists, built in sorted pair order so the appends (and any
+	// future reader of the loop) are deterministic, not just the final
+	// sorted slices.
+	keys := make([]PairKey, 0, len(s.Pairs))
 	for key := range s.Pairs {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	for _, key := range keys {
 		s.NeighborsOf[key.A] = append(s.NeighborsOf[key.A], key.B)
 		s.NeighborsOf[key.B] = append(s.NeighborsOf[key.B], key.A)
 	}

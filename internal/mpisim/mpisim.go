@@ -472,6 +472,8 @@ func (c *Comm) Barrier(epoch int) error {
 
 // Run spawns size ranks, each executing body, and waits for completion.
 // The first non-nil error is returned.
+//
+//krakcheck:ignore ctxflow bounded fork-join that always joins before returning; rank bodies exchange via in-memory channels and have no cancellation points to thread ctx into
 func Run(size int, body func(c *Comm) error) error {
 	w, err := NewWorld(size)
 	if err != nil {

@@ -78,9 +78,15 @@ func (g *Graph) Validate() error {
 			weights[edge{int32(v), u}] = g.AdjWgt[i]
 		}
 	}
-	for e, w := range weights {
-		if weights[edge{e.v, e.u}] != w {
-			return fmt.Errorf("partition: asymmetric edge (%d,%d)", e.u, e.v)
+	// Check symmetry by walking the adjacency arrays in vertex order, not
+	// by ranging over the map: the first asymmetric edge reported must be
+	// the same on every run so error messages are reproducible.
+	for v := 0; v < n; v++ {
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adjncy[i]
+			if weights[edge{u, int32(v)}] != g.AdjWgt[i] {
+				return fmt.Errorf("partition: asymmetric edge (%d,%d)", v, u)
+			}
 		}
 	}
 	return nil

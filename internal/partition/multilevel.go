@@ -90,6 +90,8 @@ type level struct {
 //   - sideA/sideB ping-pong through bisection projection; the returned
 //     side vector is only valid until the next bisect call, which is fine
 //     because recurse consumes it immediately.
+//
+// krakcheck:arena
 type mlScratch struct {
 	match    []int32
 	acc      []int32 // zeroed between uses by coarsenOnce's touched-list
@@ -316,6 +318,7 @@ func (ml *Multilevel) bisect(g *Graph, frac, tol float64, rng *stats.SplitMix64,
 		fmRefine(lv.g, fine, t0, tol, 4, scr)
 		side, other = fine, side[:cap(side)]
 	}
+	//krakcheck:ignore arenaescape deliberate borrow: the side vector is valid until the next bisect call and recurse consumes it before calling bisect again
 	return side
 }
 

@@ -76,6 +76,31 @@ func TestGraphValidateCatchesAsymmetry(t *testing.T) {
 	}
 }
 
+// TestGraphValidateDeterministicError is the regression test for the
+// map-range iteration Validate used to use for the symmetry check: with
+// several asymmetric edges, the reported edge depended on map order and
+// the message changed run to run. It must now always name the first
+// asymmetric edge in vertex order.
+func TestGraphValidateDeterministicError(t *testing.T) {
+	// Path 0-1-2 with both edges weight-asymmetric.
+	g := &Graph{
+		Xadj:   []int32{0, 1, 3, 4},
+		Adjncy: []int32{1, 0, 2, 1},
+		AdjWgt: []int32{1, 2, 3, 4},
+		VWgt:   []int32{1, 1, 1},
+	}
+	const want = "partition: asymmetric edge (0,1)"
+	for i := 0; i < 50; i++ {
+		err := g.Validate()
+		if err == nil {
+			t.Fatal("asymmetric weights accepted")
+		}
+		if err.Error() != want {
+			t.Fatalf("run %d: error %q, want %q", i, err, want)
+		}
+	}
+}
+
 func TestCutAndImbalance(t *testing.T) {
 	d, _ := mesh.BuildUniformDeck(4, 1, mesh.Foam)
 	g := FromMesh(d.Mesh)

@@ -334,6 +334,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// fail the strangers sharing the computation (predictions are short
 	// and the rendered result is cacheable regardless).
 	s.cachedResult(w, key, func() (*krak.Result, error) {
+		//krakcheck:ignore ctxflow deliberate detach: coalesced fill shared by other requests must survive this client disconnecting
 		return s.batch.predict(context.Background(), m, sc)
 	})
 }
@@ -461,10 +462,12 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		//krakcheck:ignore ctxflow deliberate detach: coalesced fill shared by other requests must survive this client disconnecting
 		ds, err := req.Materialize(context.Background(), sess)
 		if err != nil {
 			return nil, err
 		}
+		//krakcheck:ignore ctxflow same deliberate detach as the Materialize call above
 		cr, err := sess.Calibrate(context.Background(), ds, krak.CalibrateOptions{Folds: req.Folds})
 		if err != nil {
 			return nil, err

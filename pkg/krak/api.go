@@ -486,7 +486,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		*alias
 	}{alias: (*alias)(r)}
 	if err := json.Unmarshal(data, &aux); err != nil {
-		return err
+		return fmt.Errorf("%w: decoding result: %w", ErrSchema, err)
 	}
 	if aux.Schema != ResultSchema {
 		return fmt.Errorf("%w: got %q, want %q", ErrSchema, aux.Schema, ResultSchema)
@@ -504,7 +504,7 @@ func (sr *SweepResult) UnmarshalJSON(data []byte) error {
 		*alias
 	}{alias: (*alias)(sr)}
 	if err := json.Unmarshal(data, &aux); err != nil {
-		return err
+		return fmt.Errorf("%w: decoding sweep: %w", ErrSchema, err)
 	}
 	if aux.Schema != SweepSchema {
 		return fmt.Errorf("%w: got %q, want %q", ErrSchema, aux.Schema, SweepSchema)

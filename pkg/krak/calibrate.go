@@ -49,6 +49,7 @@ func ParseDataset(src []byte) (*Dataset, error) {
 	}
 	out := &Dataset{Name: ds.Name}
 	for _, o := range ds.Obs {
+		//krakcheck:ignore boundedparse calib.ParseDataset above already enforces MaxDatasetBytes and MaxObservations on ds.Obs
 		out.Observations = append(out.Observations, Observation(o))
 	}
 	return out, nil
@@ -143,10 +144,14 @@ const CalibrationSchema = "krak.calibration/v1"
 // --json flag and /v1/calibrate), stamping the schema identifier.
 func (cr *CalibrationResult) MarshalJSON() ([]byte, error) {
 	type alias CalibrationResult
-	return json.Marshal(struct {
+	b, err := json.Marshal(struct {
 		Schema string `json:"schema"`
 		*alias
 	}{Schema: CalibrationSchema, alias: (*alias)(cr)})
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding calibration: %w", ErrSchema, err)
+	}
+	return b, nil
 }
 
 // UnmarshalJSON decodes a CalibrationResult produced by MarshalJSON,
@@ -159,7 +164,7 @@ func (cr *CalibrationResult) UnmarshalJSON(data []byte) error {
 		*alias
 	}{alias: (*alias)(cr)}
 	if err := json.Unmarshal(data, &aux); err != nil {
-		return err
+		return fmt.Errorf("%w: decoding calibration: %w", ErrSchema, err)
 	}
 	if aux.Schema != CalibrationSchema {
 		return fmt.Errorf("%w: got %q, want %q", ErrSchema, aux.Schema, CalibrationSchema)
@@ -253,9 +258,9 @@ func (s *Session) features(ctx context.Context, obs []Observation) ([]calib.Feat
 		return nil, err
 	}
 	fenv := s.m.featureEnv()
-	cal, err := fenv.ContrivedCalibration()
-	if err != nil {
-		return nil, fmt.Errorf("krak: baseline calibration: %w", err)
+	cal, cerr := fenv.ContrivedCalibration()
+	if cerr != nil {
+		return nil, fmt.Errorf("%w: baseline calibration: %w", ErrCalibration, cerr)
 	}
 	cache := map[string]calib.Features{}
 	out := make([]calib.Features, len(obs))
@@ -274,16 +279,16 @@ func (s *Session) features(ctx context.Context, obs []Observation) ([]calib.Feat
 		}
 		d, err := fenv.Deck(size)
 		if err != nil {
-			return nil, fmt.Errorf("krak: feature deck %s: %w", o.Deck, err)
+			return nil, fmt.Errorf("%w: feature deck %s: %w", ErrCalibration, o.Deck, err)
 		}
 		cells := d.Mesh.NumCells()
 		pL, err := core.NewGeneral(cal, probeLatencyNet, mode).Predict(cells, o.PEs)
 		if err != nil {
-			return nil, fmt.Errorf("krak: feature model at %s/%d: %w", o.Deck, o.PEs, err)
+			return nil, fmt.Errorf("%w: feature model at %s/%d: %w", ErrCalibration, o.Deck, o.PEs, err)
 		}
 		pB, err := core.NewGeneral(cal, probeByteNet, mode).Predict(cells, o.PEs)
 		if err != nil {
-			return nil, fmt.Errorf("krak: feature model at %s/%d: %w", o.Deck, o.PEs, err)
+			return nil, fmt.Errorf("%w: feature model at %s/%d: %w", ErrCalibration, o.Deck, o.PEs, err)
 		}
 		f := calib.Features{
 			Compute:  pL.Compute(),
@@ -330,9 +335,9 @@ func (s *Session) Calibrate(ctx context.Context, ds *Dataset, opt CalibrateOptio
 	if err != nil {
 		return nil, err
 	}
-	fr, err := calib.Fit(times, feats)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCalibration, err)
+	fr, ferr := calib.Fit(times, feats)
+	if ferr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCalibration, ferr)
 	}
 
 	cr := &CalibrationResult{

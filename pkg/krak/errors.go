@@ -1,6 +1,9 @@
 package krak
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors returned (possibly wrapped with detail) by option
 // validation and Session methods. Match them with errors.Is.
@@ -48,8 +51,26 @@ var (
 	// unsupported feature model, or a degenerate fit.
 	ErrCalibration = errors.New("krak: calibration error")
 
-	// ErrSchema is returned by Result.UnmarshalJSON when the payload's
-	// schema stamp is not ResultSchema — the guard that keeps clients of
-	// `krak serve` from silently decoding an incompatible layout.
+	// ErrSchema is returned by the MarshalJSON/UnmarshalJSON pairs on
+	// Result, SweepResult, and CalibrationResult when a payload cannot be
+	// decoded, its schema stamp is not the expected one, or a value
+	// cannot be encoded — the guard that keeps clients of `krak serve`
+	// from silently exchanging an incompatible layout.
 	ErrSchema = errors.New("krak: unexpected result schema")
+
+	// ErrModel wraps failures surfacing from the internal model layers —
+	// partitioning, cluster simulation, hydro stepping, analytic
+	// prediction, experiment execution — through a public Session method.
+	// The cause stays in the chain (a canceled sweep still matches
+	// context.Canceled), so ErrModel adds matchability without hiding
+	// anything; it exists so every error a Session returns satisfies the
+	// package contract that errors.Is finds at least one Err* sentinel.
+	ErrModel = errors.New("krak: model evaluation failed")
 )
+
+// modelErr wraps an error crossing the internal-model boundary in
+// ErrModel; op names the failing operation. Both ErrModel and err remain
+// matchable with errors.Is.
+func modelErr(op string, err error) error {
+	return fmt.Errorf("%w: %s: %w", ErrModel, op, err)
+}

@@ -3,6 +3,8 @@ package krak
 import (
 	"context"
 	"errors"
+	"io"
+	"math"
 	"testing"
 )
 
@@ -197,6 +199,22 @@ func TestTypedErrors(t *testing.T) {
 			var cr CalibrationResult
 			return cr.UnmarshalJSON([]byte(`{"schema":"krak.calibration/v0"}`))
 		}, ErrSchema},
+		{"undecodable result payload", func() error {
+			var r Result
+			return r.UnmarshalJSON([]byte(`{`))
+		}, ErrSchema},
+		{"undecodable sweep payload", func() error {
+			var sr SweepResult
+			return sr.UnmarshalJSON([]byte(`[]`))
+		}, ErrSchema},
+		{"undecodable calibration payload", func() error {
+			var cr CalibrationResult
+			return cr.UnmarshalJSON([]byte(`"nope"`))
+		}, ErrSchema},
+		{"unencodable result", func() error {
+			_, err := (&Result{Kind: KindPredict, TotalSeconds: math.NaN()}).MarshalJSON()
+			return err
+		}, ErrSchema},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -226,6 +244,9 @@ func TestCanceledContext(t *testing.T) {
 
 	if _, err := s.Experiments(ctx, []string{"table1"}); !errors.Is(err, context.Canceled) {
 		t.Errorf("Experiments error %v is not context.Canceled", err)
+	} else if !errors.Is(err, ErrModel) {
+		// The ErrModel wrap must not hide the cancellation, and vice versa.
+		t.Errorf("Experiments error %v is not ErrModel", err)
 	}
 
 	sc, err := NewScenario(WithDeck("small"), WithPE(4))
@@ -234,6 +255,24 @@ func TestCanceledContext(t *testing.T) {
 	}
 	if _, err := s.Sweep(ctx, SweepPredict, []*Scenario{sc}); !errors.Is(err, context.Canceled) {
 		t.Errorf("Sweep error %v is not context.Canceled", err)
+	} else if !errors.Is(err, ErrModel) {
+		t.Errorf("Sweep error %v is not ErrModel", err)
+	}
+}
+
+// TestModelErrKeepsChain pins the modelErr wrapping shape: both ErrModel
+// and the original cause stay errors.Is-matchable, and the message keeps
+// the krak namespace prefix the CLI contract requires.
+func TestModelErrKeepsChain(t *testing.T) {
+	err := modelErr("deck", io.ErrUnexpectedEOF)
+	if !errors.Is(err, ErrModel) {
+		t.Errorf("modelErr result %v is not ErrModel", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("modelErr result %v lost its cause", err)
+	}
+	if msg := err.Error(); len(msg) < 5 || msg[:5] != "krak:" {
+		t.Errorf("modelErr message %q does not start with \"krak:\"", msg)
 	}
 }
 

@@ -294,5 +294,9 @@ func (m *Machine) featureEnv() *experiments.Env {
 // memoized per (deck, campaign) pair in the environment's single-flight
 // cache.
 func (m *Machine) deckCalibration(d *mesh.Deck, calPEs []int) (*compute.Calibrated, error) {
-	return m.env.DeckCalibration(d, calPEs)
+	cal, err := m.env.DeckCalibration(d, calPEs)
+	if err != nil {
+		return nil, modelErr("deck calibration", err)
+	}
+	return cal, nil
 }

@@ -61,8 +61,8 @@ func (ns NetworkSpec) Model() (*netmodel.Model, error) {
 	}
 	segs := make([]netmodel.Segment, 0, len(ns.Segments))
 	for i, s := range ns.Segments {
-		if err := s.validate(); err != nil {
-			return nil, fmt.Errorf("%w: segment %d: %v", ErrBadMachineSpec, i, err)
+		if err := s.validate(i); err != nil {
+			return nil, err
 		}
 		seg := netmodel.Segment{MinBytes: s.MinBytes, Latency: s.LatencyUS * 1e-6}
 		if s.BandwidthMBs > 0 {
@@ -77,15 +77,18 @@ func (ns NetworkSpec) Model() (*netmodel.Model, error) {
 	return net, nil
 }
 
-func (s SegmentSpec) validate() error {
+// validate checks one segment's ranges; i is the segment's index, folded
+// into the sentinel-wrapped message so callers can forward the error
+// as-is.
+func (s SegmentSpec) validate(i int) error {
 	if s.MinBytes < 0 || s.MinBytes > 1<<30 {
-		return fmt.Errorf("min bytes %d out of range [0, 2^30]", s.MinBytes)
+		return fmt.Errorf("%w: segment %d: min bytes %d out of range [0, 2^30]", ErrBadMachineSpec, i, s.MinBytes)
 	}
 	if math.IsNaN(s.LatencyUS) || s.LatencyUS < 0 || s.LatencyUS > 1e9 {
-		return fmt.Errorf("latency %gus out of range [0, 1e9]", s.LatencyUS)
+		return fmt.Errorf("%w: segment %d: latency %gus out of range [0, 1e9]", ErrBadMachineSpec, i, s.LatencyUS)
 	}
 	if math.IsNaN(s.BandwidthMBs) || s.BandwidthMBs < 0 || s.BandwidthMBs > 1e9 {
-		return fmt.Errorf("bandwidth %g MB/s out of range [0, 1e9]", s.BandwidthMBs)
+		return fmt.Errorf("%w: segment %d: bandwidth %g MB/s out of range [0, 1e9]", ErrBadMachineSpec, i, s.BandwidthMBs)
 	}
 	return nil
 }
@@ -199,8 +202,8 @@ func (p *machineParser) directive(lineNo int, fields []string) error {
 			return lineErr(lineNo, "latency and bandwidth must be numbers")
 		}
 		seg := SegmentSpec{MinBytes: minBytes, LatencyUS: lat, BandwidthMBs: bw}
-		if err := seg.validate(); err != nil {
-			return lineErr(lineNo, "%v", err)
+		if err := seg.validate(len(p.network.Segments)); err != nil {
+			return fmt.Errorf("%w (line %d)", err, lineNo)
 		}
 		p.network.Segments = append(p.network.Segments, seg)
 	case "compute-scale":

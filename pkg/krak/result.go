@@ -120,10 +120,14 @@ const ResultSchema = "krak.result/v1"
 // --json flag), stamping the schema identifier alongside the fields.
 func (r *Result) MarshalJSON() ([]byte, error) {
 	type alias Result
-	return json.Marshal(struct {
+	b, err := json.Marshal(struct {
 		Schema string `json:"schema"`
 		*alias
 	}{Schema: ResultSchema, alias: (*alias)(r)})
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding result: %w", ErrSchema, err)
+	}
+	return b, nil
 }
 
 // Render formats the result for a terminal, mirroring the JSON content.

@@ -42,9 +42,17 @@ func (s *Session) deck() (*mesh.Deck, error) {
 		return s.sc.parsed, nil
 	}
 	if s.sc.custom {
-		return s.m.env.CustomDeck(s.sc.w, s.sc.h)
+		d, err := s.m.env.CustomDeck(s.sc.w, s.sc.h)
+		if err != nil {
+			return nil, modelErr("custom deck", err)
+		}
+		return d, nil
 	}
-	return s.m.env.Deck(s.sc.deckSize)
+	d, err := s.m.env.Deck(s.sc.deckSize)
+	if err != nil {
+		return nil, modelErr("deck", err)
+	}
+	return d, nil
 }
 
 // partitionSummary resolves the scenario's partition through the machine's
@@ -52,13 +60,21 @@ func (s *Session) deck() (*mesh.Deck, error) {
 // is cached per (deck, algorithm, seed, PE count).
 func (s *Session) partitionSummary(d *mesh.Deck) (*mesh.PartitionSummary, error) {
 	if s.sc.partitioner == "multilevel" {
-		return s.m.env.Partition(d, s.sc.pe)
+		sum, err := s.m.env.Partition(d, s.sc.pe)
+		if err != nil {
+			return nil, modelErr("partition", err)
+		}
+		return sum, nil
 	}
 	pr, err := partitionerByName(s.sc.partitioner, s.m.env.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return s.m.env.SummaryFor(d, pr, s.sc.pe)
+	sum, serr := s.m.env.SummaryFor(d, pr, s.sc.pe)
+	if serr != nil {
+		return nil, modelErr("partition summary", serr)
+	}
+	return sum, nil
 }
 
 func (s *Session) iterations() int {
@@ -80,7 +96,7 @@ func (s *Session) Predict() (*Result, error) {
 	case GeneralHomogeneous, GeneralHeterogeneous:
 		cal, err := s.m.env.ContrivedCalibration()
 		if err != nil {
-			return nil, err
+			return nil, modelErr("contrived calibration", err)
 		}
 		mode := core.Homogeneous
 		if s.sc.model == GeneralHeterogeneous {
@@ -88,7 +104,7 @@ func (s *Session) Predict() (*Result, error) {
 		}
 		pred, err = core.NewGeneral(cal, s.m.env.Net, mode).Predict(d.Mesh.NumCells(), s.sc.pe)
 		if err != nil {
-			return nil, err
+			return nil, modelErr("general prediction", err)
 		}
 	case MeshSpecific:
 		cal, err := s.m.deckCalibration(d, s.sc.calPEs)
@@ -99,10 +115,11 @@ func (s *Session) Predict() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred, err = core.NewMeshSpecific(cal, s.m.env.Net).Predict(sum)
-		if err != nil {
-			return nil, err
+		p, perr := core.NewMeshSpecific(cal, s.m.env.Net).Predict(sum)
+		if perr != nil {
+			return nil, modelErr("mesh-specific prediction", perr)
 		}
+		pred = p
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, s.sc.model)
 	}
@@ -149,9 +166,9 @@ func (s *Session) Simulate() (*Result, error) {
 		SerializeSends: s.m.serialize,
 	}
 	n := s.iterations()
-	results, mean, err := cluster.SimulateIterations(sum, cfg, n)
-	if err != nil {
-		return nil, err
+	results, mean, simErr := cluster.SimulateIterations(sum, cfg, n)
+	if simErr != nil {
+		return nil, modelErr("cluster simulation", simErr)
 	}
 
 	r0 := results[0]
@@ -207,11 +224,11 @@ func (s *Session) RunHydro() (*Result, error) {
 	if s.sc.ranks <= 1 {
 		st, err := hydro.NewState(d, hydro.Options{})
 		if err != nil {
-			return nil, err
+			return nil, modelErr("hydro state", err)
 		}
 		for i := 0; i < s.sc.steps; i++ {
 			if err := hydro.Step(st, hydro.Serial{}, &timers); err != nil {
-				return nil, err
+				return nil, modelErr("hydro step", err)
 			}
 			if s.sc.progressFn != nil && (i+1)%s.sc.progressEvery == 0 {
 				dg := st.Diag()
@@ -230,11 +247,11 @@ func (s *Session) RunHydro() (*Result, error) {
 	} else {
 		part, err := s.m.env.PartitionVector(d, s.sc.ranks)
 		if err != nil {
-			return nil, err
+			return nil, modelErr("partition vector", err)
 		}
 		pr, err := hydro.RunParallel(d, part, s.sc.ranks, s.sc.steps, hydro.Options{})
 		if err != nil {
-			return nil, err
+			return nil, modelErr("parallel hydro", err)
 		}
 		diag, timers = pr.Diag, pr.PhaseSeconds
 	}
@@ -271,18 +288,18 @@ func (s *Session) Partition() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := s.m.env.Graph(d)
-	if err != nil {
-		return nil, err
+	g, gerr := s.m.env.Graph(d)
+	if gerr != nil {
+		return nil, modelErr("deck graph", gerr)
 	}
-	part, err := s.m.env.VectorFor(d, pr, s.sc.pe)
-	if err != nil {
-		return nil, err
+	part, verr := s.m.env.VectorFor(d, pr, s.sc.pe)
+	if verr != nil {
+		return nil, modelErr("partition vector", verr)
 	}
 	q := partition.QualityOf(pr.Name(), g, part, s.sc.pe)
-	sum, err := s.m.env.SummaryFor(d, pr, s.sc.pe)
-	if err != nil {
-		return nil, err
+	sum, serr := s.m.env.SummaryFor(d, pr, s.sc.pe)
+	if serr != nil {
+		return nil, modelErr("partition summary", serr)
 	}
 
 	rep := &PartitionReport{
@@ -342,7 +359,7 @@ func (s *Session) Experiment(id string) (*Result, error) {
 	}
 	r, err := e.Run(context.Background(), s.m.env)
 	if err != nil {
-		return nil, fmt.Errorf("krak: experiment %s: %w", id, err)
+		return nil, fmt.Errorf("%w: experiment %s: %w", ErrModel, id, err)
 	}
 	return experimentResult(r), nil
 }
@@ -361,7 +378,7 @@ func (s *Session) Experiments(ctx context.Context, ids []string) ([]*Result, err
 	}
 	rs, err := experiments.RunAll(ctx, s.m.env, ids, s.m.pool)
 	if err != nil {
-		return nil, fmt.Errorf("krak: %w", err)
+		return nil, modelErr("experiments", err)
 	}
 	out := make([]*Result, len(rs))
 	for i, r := range rs {

@@ -88,10 +88,14 @@ const SweepSchema = "krak.sweep/v1"
 // schema identifier alongside the fields.
 func (sr *SweepResult) MarshalJSON() ([]byte, error) {
 	type alias SweepResult
-	return json.Marshal(struct {
+	b, err := json.Marshal(struct {
 		Schema string `json:"schema"`
 		*alias
 	}{Schema: SweepSchema, alias: (*alias)(sr)})
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding sweep: %w", ErrSchema, err)
+	}
+	return b, nil
 }
 
 // Render formats the sweep as a summary table for a terminal.
@@ -181,7 +185,7 @@ func (s *Session) Sweep(ctx context.Context, op SweepOp, grid []*Scenario) (*Swe
 		return pt, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, modelErr("sweep", err)
 	}
 
 	sr := &SweepResult{
