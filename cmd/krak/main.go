@@ -11,6 +11,7 @@
 //	krak part        -deck small -pe 16 -algo rcb [-deck-file deck.txt] [--json]
 //	krak sweep       -op predict -deck medium -pe 32,64,128,256 -parallel 8 [--json]
 //	krak experiments -list | -run table6 | -write EXPERIMENTS.md -parallel 8 [--json]
+//	krak compare     -scenario medium -machines machines/ -baseline es45-qsnet [--json]
 //	krak calibrate   -data runs.txt -folds 5 | -synth -deck small -pe 2,4,8 [--json]
 //	krak serve       -addr :8080 -parallel 8 -cache-size 1024 [-quick]
 //
@@ -33,9 +34,14 @@
 // -machine-file (every machine-taking subcommand) loads a declarative
 // machine file: "machine NAME", "interconnect qsnet|gige|infiniband" or
 // a custom "network NAME" with "segment MINBYTES LATENCY_US BW_MBS"
-// lines, "compute-scale F", "seed N", "repeats N", "quick",
-// "serialize-sends". `krak calibrate -emit-machine` writes one from
-// fitted parameters, closing the measure -> calibrate -> predict loop.
+// lines, an optional "topology fat-tree HOPLAT_US RADIX" /
+// "topology dragonfly HOPLAT_US GROUPSIZE" / "topology torus HOPLAT_US
+// [X Y Z]" stanza refining the collective models, "compute-scale F",
+// "seed N", "repeats N", "quick", "serialize-sends". `krak calibrate
+// -emit-machine` writes one from fitted parameters, closing the
+// measure -> calibrate -> predict loop. The machines/ directory at the
+// repo root is a checked-in catalog of such files spanning machine
+// generations; `krak compare -machines machines/` sweeps them all.
 //
 // Every subcommand also accepts -cpuprofile FILE and -memprofile FILE,
 // writing pprof profiles of the invocation (see `make profile` for the
@@ -73,6 +79,8 @@ func main() {
 		err = runSweep(os.Args[2:])
 	case "experiments":
 		err = runExperiments(os.Args[2:])
+	case "compare":
+		err = runCompare(os.Args[2:])
 	case "calibrate":
 		err = runCalibrate(os.Args[2:])
 	case "serve":
@@ -101,6 +109,7 @@ subcommands:
   part         partition a deck and report quality
   sweep        evaluate a deck x PE grid concurrently
   experiments  regenerate the paper's tables and figures
+  compare      sweep one scenario across a catalog of machines
   calibrate    fit machine parameters to measured timings
   serve        run the batched HTTP prediction service
 

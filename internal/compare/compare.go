@@ -1,0 +1,368 @@
+// Package compare is the cross-machine comparison subsystem: it sweeps
+// one scenario across a set of machines (the checked-in machines/
+// catalog, ad-hoc machine files, or wire specs) and reduces the per-
+// machine scaling curves to the questions a procurement or porting study
+// asks — where does each machine stop scaling (the knee), which machine
+// is fastest at which PE count, and at what scale does a newer machine
+// overtake the baseline (the crossover).
+//
+// The subsystem is deliberately deterministic: a Report carries no wall-
+// clock timings, only modeled/simulated seconds, so `krak compare
+// --json` output is byte-stable and golden-pinnable, and the server's
+// POST /v1/compare can serve cached bodies byte-identical to the CLI.
+package compare
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"krak/internal/engine"
+	"krak/pkg/krak"
+)
+
+// Schema stamps every Report; decoders reject anything else.
+const Schema = "krak.compare/v1"
+
+// MaxMachines bounds how many machines one comparison may sweep.
+const MaxMachines = 64
+
+// MaxPoints bounds the total (machine, PE) grid, mirroring
+// krak.MaxSweepPoints.
+const MaxPoints = 4096
+
+// DefaultKneeEfficiency is the parallel-efficiency threshold that
+// defines the knee when the request does not set one.
+const DefaultKneeEfficiency = 0.5
+
+// DefaultBaselineName is the machine a comparison is anchored to when
+// the request names none and a machine with this name is present — the
+// paper's ES45/QsNet platform as checked into the catalog.
+const DefaultBaselineName = "es45-qsnet"
+
+// Request describes one comparison: a scenario (op, deck, model, PE
+// sweep) evaluated on every machine in Machines. It is both the wire
+// body of POST /v1/compare and what `krak compare` builds from its
+// flags.
+type Request struct {
+	// Op is "predict" (the analytic model, default) or "simulate" (the
+	// discrete-event simulator).
+	Op string `json:"op,omitempty"`
+
+	// Deck names the scenario's deck (default "medium").
+	Deck string `json:"deck,omitempty"`
+
+	// PEs is the processor counts to sweep, sorted ascending (default
+	// 16..1024 in powers of two). The first entry anchors the efficiency
+	// curve.
+	PEs []int `json:"pes,omitempty"`
+
+	// Model selects the analytic model variant for predict ops (default
+	// "general-homo").
+	Model string `json:"model,omitempty"`
+
+	// Partitioner and Iterations configure simulate ops (defaults:
+	// "multilevel", the machine's repeat count).
+	Partitioner string `json:"partitioner,omitempty"`
+	Iterations  int    `json:"iterations,omitempty"`
+
+	// Baseline names the machine the crossover and speedup columns are
+	// relative to. Empty selects DefaultBaselineName if present, else the
+	// first machine.
+	Baseline string `json:"baseline,omitempty"`
+
+	// KneeEfficiency is the parallel-efficiency threshold defining the
+	// knee (default 0.5; must be in (0, 1]).
+	KneeEfficiency float64 `json:"knee_efficiency,omitempty"`
+
+	// Machines is the comparison set. Every spec must resolve to a named
+	// machine (the machine directive, the spec's name field, or the name
+	// LoadPaths derives from the file name), and names must be unique.
+	Machines []krak.MachineSpec `json:"machines"`
+}
+
+// Normalized returns the request with defaults filled in and the PE
+// sweep sorted and deduplicated.
+func (r Request) Normalized() Request {
+	if r.Op == "" {
+		r.Op = "predict"
+	}
+	if r.Deck == "" {
+		r.Deck = "medium"
+	}
+	if len(r.PEs) == 0 {
+		r.PEs = []int{16, 32, 64, 128, 256, 512, 1024}
+	} else {
+		pes := append([]int(nil), r.PEs...)
+		sort.Ints(pes)
+		out := pes[:1]
+		for _, p := range pes[1:] {
+			if p != out[len(out)-1] {
+				out = append(out, p)
+			}
+		}
+		r.PEs = out
+	}
+	if r.Model == "" {
+		r.Model = "general-homo"
+	}
+	if r.Partitioner == "" {
+		r.Partitioner = "multilevel"
+	}
+	if r.KneeEfficiency == 0 {
+		r.KneeEfficiency = DefaultKneeEfficiency
+	}
+	return r
+}
+
+// Point is one swept (PE, time) sample of a machine's scaling curve.
+type Point struct {
+	PEs     int     `json:"pes"`
+	Seconds float64 `json:"seconds"`
+
+	// Efficiency is the parallel efficiency relative to the sweep's
+	// first PE count on the same machine: T(p0)*p0 / (T(p)*p).
+	Efficiency float64 `json:"efficiency"`
+
+	// SpeedupVsBaseline is the baseline machine's time at the same PE
+	// count divided by this machine's.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
+}
+
+// Curve is one machine's scaling curve plus its reductions.
+type Curve struct {
+	Machine      string  `json:"machine"`
+	Network      string  `json:"network"`
+	Topology     string  `json:"topology"`
+	ComputeScale float64 `json:"compute_scale"`
+	Points       []Point `json:"points"`
+
+	// KneePEs is the smallest swept PE count whose efficiency fell below
+	// the knee threshold; 0 if the machine never dropped below it.
+	KneePEs int `json:"knee_pes,omitempty"`
+
+	// BestPEs/BestSeconds locate the curve's minimum time.
+	BestPEs     int     `json:"best_pes"`
+	BestSeconds float64 `json:"best_seconds"`
+}
+
+// Crossover records where a machine overtakes the baseline: the first
+// swept PE count at which it is strictly faster (0 = never within the
+// sweep).
+type Crossover struct {
+	Machine string `json:"machine"`
+	PEs     int    `json:"pes"`
+}
+
+// Report is the comparison result; byte-stable for a fixed request.
+type Report struct {
+	Schema         string      `json:"schema"`
+	Op             string      `json:"op"`
+	Deck           string      `json:"deck"`
+	Model          string      `json:"model,omitempty"`
+	PEs            []int       `json:"pes"`
+	KneeEfficiency float64     `json:"knee_efficiency"`
+	Baseline       string      `json:"baseline"`
+	Curves         []Curve     `json:"curves"`
+	Crossovers     []Crossover `json:"crossovers"`
+}
+
+// Builder turns a resolved machine spec into a Machine. The server
+// passes its capped, cache-backed machineFor; the CLI passes NewBuilder.
+type Builder func(ms krak.MachineSpec) (*krak.Machine, error)
+
+// NewBuilder returns the standalone builder `krak compare` uses: every
+// machine it builds shares one artifact store, so decks, graphs, and
+// partitions are computed once across the whole comparison.
+func NewBuilder(sa *krak.SharedArtifacts) Builder {
+	return func(ms krak.MachineSpec) (*krak.Machine, error) {
+		opts := ms.Options()
+		if sa != nil {
+			opts = append(opts, krak.WithSharedArtifacts(sa))
+		}
+		return krak.NewMachine(opts...)
+	}
+}
+
+// resolved is one validated comparison entry.
+type resolved struct {
+	name    string
+	machine *krak.Machine
+}
+
+// Run evaluates the comparison: every machine × every PE count through
+// the scenario, concurrently on pool, reduced to curves, knees, and
+// crossovers. Validation errors wrap the usual krak sentinels
+// (ErrBadOption, ErrBadMachineSpec, ...), so callers map them the same
+// way as every other subsystem's.
+func Run(ctx context.Context, req Request, build Builder, pool *engine.Pool) (*Report, error) {
+	req = req.Normalized()
+	if build == nil {
+		build = NewBuilder(nil)
+	}
+	if len(req.Machines) == 0 {
+		return nil, fmt.Errorf("%w: compare needs at least one machine", krak.ErrBadOption)
+	}
+	if len(req.Machines) > MaxMachines {
+		return nil, fmt.Errorf("%w: compare got %d machines, max %d", krak.ErrBadOption, len(req.Machines), MaxMachines)
+	}
+	if len(req.PEs) > MaxPoints/len(req.Machines) {
+		return nil, fmt.Errorf("%w: compare grid %dx%d exceeds %d points",
+			krak.ErrBadOption, len(req.Machines), len(req.PEs), MaxPoints)
+	}
+	for _, p := range req.PEs {
+		if p < 1 {
+			return nil, fmt.Errorf("%w: PE count %d", krak.ErrBadPE, p)
+		}
+	}
+	if !(req.KneeEfficiency > 0 && req.KneeEfficiency <= 1) {
+		return nil, fmt.Errorf("%w: knee efficiency %g out of (0, 1]", krak.ErrBadOption, req.KneeEfficiency)
+	}
+	op, err := krak.ParseSweepOp(req.Op)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := krak.ParseModel(req.Model); err != nil {
+		return nil, err
+	}
+
+	entries := make([]resolved, 0, len(req.Machines))
+	seen := make(map[string]bool, len(req.Machines))
+	for i, ms := range req.Machines {
+		r, err := ms.Resolved()
+		if err != nil {
+			return nil, fmt.Errorf("machine %d: %w", i, err)
+		}
+		if r.Name == "" {
+			return nil, fmt.Errorf("%w: machine %d has no name; comparisons key on names", krak.ErrBadMachineSpec, i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("%w: duplicate machine name %q", krak.ErrBadMachineSpec, r.Name)
+		}
+		seen[r.Name] = true
+		m, err := build(r)
+		if err != nil {
+			return nil, fmt.Errorf("machine %q: %w", r.Name, err)
+		}
+		entries = append(entries, resolved{name: r.Name, machine: m})
+	}
+
+	baseIdx := 0
+	switch {
+	case req.Baseline != "":
+		baseIdx = -1
+		for i, e := range entries {
+			if e.name == req.Baseline {
+				baseIdx = i
+			}
+		}
+		if baseIdx < 0 {
+			return nil, fmt.Errorf("%w: baseline machine %q is not in the comparison set", krak.ErrBadOption, req.Baseline)
+		}
+	default:
+		for i, e := range entries {
+			if e.name == DefaultBaselineName {
+				baseIdx = i
+			}
+		}
+	}
+
+	// One job per (machine, PE) pair, machines major; engine.Map keeps
+	// the results in submission order so the grid reassembles plainly.
+	nPE := len(req.PEs)
+	times, err := engine.Map(ctx, pool, len(entries)*nPE, func(ctx context.Context, i int) (float64, error) {
+		e := entries[i/nPE]
+		pe := req.PEs[i%nPE]
+		opts := []krak.ScenarioOption{krak.WithDeck(req.Deck), krak.WithPE(pe)}
+		if op == krak.SweepPredict {
+			model, err := krak.ParseModel(req.Model)
+			if err != nil {
+				return 0, err
+			}
+			opts = append(opts, krak.WithModel(model))
+		} else {
+			opts = append(opts, krak.WithPartitioner(req.Partitioner))
+			if req.Iterations > 0 {
+				opts = append(opts, krak.WithIterations(req.Iterations))
+			}
+		}
+		sc, err := krak.NewScenario(opts...)
+		if err != nil {
+			return 0, err
+		}
+		sess, err := krak.NewSession(e.machine, sc)
+		if err != nil {
+			return 0, err
+		}
+		var res *krak.Result
+		if op == krak.SweepPredict {
+			res, err = sess.Predict()
+		} else {
+			res, err = sess.Simulate()
+		}
+		if err != nil {
+			return 0, fmt.Errorf("machine %q at %d PEs: %w", e.name, pe, err)
+		}
+		return res.TotalSeconds, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Schema:         Schema,
+		Op:             req.Op,
+		Deck:           req.Deck,
+		PEs:            req.PEs,
+		KneeEfficiency: req.KneeEfficiency,
+		Baseline:       entries[baseIdx].name,
+	}
+	if op == krak.SweepPredict {
+		rep.Model = req.Model
+	}
+	baseTimes := times[baseIdx*nPE : (baseIdx+1)*nPE]
+	for mi, e := range entries {
+		row := times[mi*nPE : (mi+1)*nPE]
+		c := Curve{
+			Machine:      e.name,
+			Network:      e.machine.NetworkName(),
+			Topology:     e.machine.Topology(),
+			ComputeScale: e.machine.ComputeScale(),
+		}
+		t0, p0 := row[0], req.PEs[0]
+		best := 0
+		for pi, t := range row {
+			eff := 0.0
+			if t > 0 {
+				eff = t0 * float64(p0) / (t * float64(req.PEs[pi]))
+			}
+			speedup := 0.0
+			if t > 0 {
+				speedup = baseTimes[pi] / t
+			}
+			c.Points = append(c.Points, Point{
+				PEs: req.PEs[pi], Seconds: t,
+				Efficiency: eff, SpeedupVsBaseline: speedup,
+			})
+			if c.KneePEs == 0 && eff < req.KneeEfficiency {
+				c.KneePEs = req.PEs[pi]
+			}
+			if t < row[best] {
+				best = pi
+			}
+		}
+		c.BestPEs, c.BestSeconds = req.PEs[best], row[best]
+		rep.Curves = append(rep.Curves, c)
+		if mi != baseIdx {
+			x := Crossover{Machine: e.name}
+			for pi, t := range row {
+				if t < baseTimes[pi] {
+					x.PEs = req.PEs[pi]
+					break
+				}
+			}
+			rep.Crossovers = append(rep.Crossovers, x)
+		}
+	}
+	return rep, nil
+}

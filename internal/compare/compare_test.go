@@ -1,0 +1,206 @@
+package compare
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"krak/internal/engine"
+	"krak/pkg/krak"
+)
+
+// quickPair is a minimal two-machine comparison set on shrunken decks.
+func quickPair() []krak.MachineSpec {
+	return []krak.MachineSpec{
+		{Name: "base", Interconnect: "qsnet", Quick: true},
+		{Name: "fast", Interconnect: "infiniband", Quick: true,
+			Topology: &krak.TopologySpec{Kind: "fat-tree", HopLatencyUS: 0.2, Radix: 36}},
+	}
+}
+
+func runQuick(t *testing.T, req Request, pool *engine.Pool) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), req, NewBuilder(krak.NewSharedArtifacts()), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunShapes(t *testing.T) {
+	req := Request{Deck: "small", PEs: []int{2, 4, 8}, Machines: quickPair()}
+	rep := runQuick(t, req, engine.Serial())
+
+	if rep.Schema != Schema {
+		t.Errorf("schema %q", rep.Schema)
+	}
+	if rep.Baseline != "base" {
+		t.Errorf("baseline %q, want first machine when %q is absent", rep.Baseline, DefaultBaselineName)
+	}
+	if len(rep.Curves) != 2 || len(rep.Crossovers) != 1 {
+		t.Fatalf("%d curves, %d crossovers", len(rep.Curves), len(rep.Crossovers))
+	}
+	for _, c := range rep.Curves {
+		if len(c.Points) != 3 {
+			t.Fatalf("%s: %d points", c.Machine, len(c.Points))
+		}
+		if c.Points[0].Efficiency != 1 {
+			t.Errorf("%s: efficiency at p0 = %g, want 1", c.Machine, c.Points[0].Efficiency)
+		}
+		for _, p := range c.Points {
+			if !(p.Seconds > 0) {
+				t.Errorf("%s at %d PEs: non-positive time %g", c.Machine, p.PEs, p.Seconds)
+			}
+		}
+	}
+	base := rep.Curves[0]
+	if base.Machine != "base" {
+		t.Fatalf("curve order drifted from machine order: %q first", base.Machine)
+	}
+	for _, p := range base.Points {
+		if p.SpeedupVsBaseline != 1 {
+			t.Errorf("baseline speedup vs itself = %g at %d PEs", p.SpeedupVsBaseline, p.PEs)
+		}
+	}
+	if rep.Curves[1].Topology != "fat-tree radix 36" {
+		t.Errorf("topology column %q", rep.Curves[1].Topology)
+	}
+}
+
+func TestRunDefaultBaselineRule(t *testing.T) {
+	machines := append(quickPair(), krak.MachineSpec{Name: DefaultBaselineName, Quick: true})
+	req := Request{Deck: "small", PEs: []int{2, 4}, Machines: machines}
+	rep := runQuick(t, req, engine.Serial())
+	if rep.Baseline != DefaultBaselineName {
+		t.Errorf("baseline %q, want the catalog baseline when present", rep.Baseline)
+	}
+	// An explicit baseline wins over the default rule.
+	req.Baseline = "fast"
+	if rep := runQuick(t, req, engine.Serial()); rep.Baseline != "fast" {
+		t.Errorf("explicit baseline ignored: %q", rep.Baseline)
+	}
+}
+
+// TestRunDeterministicAndParallel pins the byte-stability the goldens
+// and the serving cache rely on: repeated runs and parallel runs produce
+// identical JSON.
+func TestRunDeterministicAndParallel(t *testing.T) {
+	req := Request{Deck: "small", PEs: []int{2, 4, 8}, Machines: quickPair()}
+	marshal := func(pool *engine.Pool) string {
+		b, err := json.Marshal(runQuick(t, req, pool))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial := marshal(engine.Serial())
+	if again := marshal(engine.Serial()); again != serial {
+		t.Error("repeated serial runs differ")
+	}
+	if par := marshal(engine.New(4)); par != serial {
+		t.Error("parallel run differs from serial")
+	}
+}
+
+func TestRunSimulateOp(t *testing.T) {
+	req := Request{Op: "simulate", Deck: "small", PEs: []int{2, 4}, Iterations: 1,
+		Machines: quickPair()}
+	rep := runQuick(t, req, engine.New(2))
+	if rep.Op != "simulate" || rep.Model != "" {
+		t.Errorf("op %q model %q", rep.Op, rep.Model)
+	}
+	for _, c := range rep.Curves {
+		for _, p := range c.Points {
+			if !(p.Seconds > 0) {
+				t.Errorf("%s at %d PEs: non-positive simulated time %g", c.Machine, p.PEs, p.Seconds)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pair := quickPair()
+	cases := []struct {
+		name string
+		req  Request
+		want error
+	}{
+		{"no machines", Request{}, krak.ErrBadOption},
+		{"unnamed machine", Request{Machines: []krak.MachineSpec{{Interconnect: "qsnet"}}}, krak.ErrBadMachineSpec},
+		{"duplicate names", Request{Machines: []krak.MachineSpec{{Name: "a"}, {Name: "a"}}}, krak.ErrBadMachineSpec},
+		{"bad PE", Request{PEs: []int{-2}, Machines: pair}, krak.ErrBadPE},
+		{"bad knee", Request{KneeEfficiency: 1.5, Machines: pair}, krak.ErrBadOption},
+		{"bad op", Request{Op: "measure", Machines: pair}, krak.ErrBadOption},
+		{"bad model", Request{Model: "oracle", Machines: pair}, krak.ErrUnknownModel},
+		{"missing baseline", Request{Baseline: "nope", Machines: pair}, krak.ErrBadOption},
+		{"bad machine", Request{Machines: []krak.MachineSpec{{Name: "x", Interconnect: "tokenring"}}}, krak.ErrUnknownInterconnect},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(context.Background(), tc.req, nil, engine.Serial())
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error %q does not wrap %v", err, tc.want)
+			}
+		})
+	}
+
+	var big Request
+	for i := 0; i < 2; i++ {
+		big.Machines = append(big.Machines, krak.MachineSpec{Name: string(rune('a' + i))})
+	}
+	for p := 1; p <= MaxPoints; p++ {
+		big.PEs = append(big.PEs, p)
+	}
+	if _, err := Run(context.Background(), big, nil, engine.Serial()); !errors.Is(err, krak.ErrBadOption) {
+		t.Errorf("oversized grid accepted: %v", err)
+	}
+}
+
+func TestLoadPathsCatalog(t *testing.T) {
+	specs, err := LoadPaths([]string{"../../machines"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 8 {
+		t.Fatalf("catalog has %d machines, want >= 8", len(specs))
+	}
+	names := map[string]bool{}
+	for _, ms := range specs {
+		if ms.Name == "" {
+			t.Fatalf("catalog spec with no name: %+v", ms)
+		}
+		names[ms.Name] = true
+	}
+	if !names[DefaultBaselineName] {
+		t.Errorf("catalog lacks the %s baseline", DefaultBaselineName)
+	}
+
+	if _, err := LoadPaths([]string{"no-such-path"}); !errors.Is(err, krak.ErrBadMachineSpec) {
+		t.Errorf("missing path error: %v", err)
+	}
+	if _, err := LoadPaths(nil); !errors.Is(err, krak.ErrBadMachineSpec) {
+		t.Errorf("empty path list error: %v", err)
+	}
+	if _, err := LoadPaths([]string{"testdata"}); err == nil ||
+		!strings.Contains(err.Error(), "no .machine files") {
+		t.Errorf("dir without machine files error: %v", err)
+	}
+}
+
+func TestRenderMentionsEveryMachine(t *testing.T) {
+	req := Request{Deck: "small", PEs: []int{2, 4}, Machines: quickPair()}
+	text := runQuick(t, req, engine.Serial()).Render()
+	for _, name := range []string{"base", "fast"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("render lacks machine %q:\n%s", name, text)
+		}
+	}
+	if !strings.Contains(text, "(baseline)") {
+		t.Errorf("render lacks the baseline marker:\n%s", text)
+	}
+}

@@ -1,0 +1,139 @@
+package compare
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"krak/internal/engine"
+	"krak/pkg/krak"
+)
+
+// update rewrites the golden comparison outputs instead of comparing:
+//
+//	go test ./internal/compare -run TestGoldenCatalog -update
+var update = flag.Bool("update", false, "rewrite the golden comparison outputs")
+
+// catalogDir is the checked-in machine catalog at the repo root.
+const catalogDir = "../../machines"
+
+// catalogReport runs the default catalog comparison exactly once per
+// test binary: the same request `krak compare -machines machines/`
+// issues (analytic predictions on the full-size medium deck — heavier
+// than the quick unit tests, but deterministic down to the byte).
+var catalogReport = sync.OnceValues(func() (*Report, error) {
+	specs, err := LoadPaths([]string{catalogDir})
+	if err != nil {
+		return nil, err
+	}
+	return Run(context.Background(), Request{Machines: specs},
+		NewBuilder(krak.NewSharedArtifacts()), engine.New(0))
+})
+
+// goldenJSON renders v the way `krak compare --json` and the server do.
+func goldenJSON(t *testing.T, v any) string {
+	t.Helper()
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out) + "\n"
+}
+
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden output.\nIf the change is intentional, regenerate with -update and review the diff.\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenCatalog pins the full-catalog knee analysis: the whole
+// report as `krak compare --json` emits it, the rendered text, and one
+// per-machine golden holding that machine's curve plus its crossover
+// against the ES45/QsNet baseline — so a change anywhere in the
+// topology math, the collective models, or a catalog file cannot
+// silently move a knee or crossover.
+func TestGoldenCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog sweep")
+	}
+	rep, err := catalogReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Baseline != DefaultBaselineName {
+		t.Fatalf("catalog baseline %q, want %s", rep.Baseline, DefaultBaselineName)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden", "catalog.json"), goldenJSON(t, rep))
+	checkGolden(t, filepath.Join("testdata", "golden", "catalog.txt"), rep.Render())
+
+	crossovers := map[string]Crossover{}
+	for _, x := range rep.Crossovers {
+		crossovers[x.Machine] = x
+	}
+	for _, c := range rep.Curves {
+		t.Run(c.Machine, func(t *testing.T) {
+			entry := struct {
+				Curve     Curve      `json:"curve"`
+				Crossover *Crossover `json:"crossover,omitempty"` // nil for the baseline
+			}{Curve: c}
+			if x, ok := crossovers[c.Machine]; ok {
+				entry.Crossover = &x
+			}
+			checkGolden(t, filepath.Join("testdata", "golden", c.Machine+".json"), goldenJSON(t, entry))
+		})
+	}
+}
+
+// TestGoldenFilesCoverCatalog fails if a catalog machine has no golden
+// curve or a stale golden matches no catalog machine — the goldens must
+// track machines/ exactly, mirroring the experiments registry check.
+func TestGoldenFilesCoverCatalog(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(catalogDir, "*"+MachineFileExt))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("reading catalog: %v (%d files)", err, len(files))
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("reading golden dir (run TestGoldenCatalog with -update first): %v", err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		onDisk[e.Name()] = true
+	}
+	for _, aggregate := range []string{"catalog.json", "catalog.txt"} {
+		if !onDisk[aggregate] {
+			t.Errorf("aggregate golden %s is missing", aggregate)
+		}
+		delete(onDisk, aggregate)
+	}
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), MachineFileExt) + ".json"
+		if !onDisk[name] {
+			t.Errorf("catalog machine %s has no golden curve", filepath.Base(f))
+		}
+		delete(onDisk, name)
+	}
+	for name := range onDisk {
+		t.Errorf("golden file %s matches no catalog machine", name)
+	}
+}

@@ -1,0 +1,64 @@
+package compare
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"krak/pkg/krak"
+)
+
+// MachineFileExt is the extension catalog machine files carry.
+const MachineFileExt = ".machine"
+
+// LoadPaths expands paths — machine files and/or directories of
+// *.machine files — into the comparison set, in argument order with
+// directory entries sorted by name. Specs that carry no machine
+// directive are named after their file's base name, so every catalog
+// file participates in name-keyed comparisons without repeating itself.
+func LoadPaths(paths []string) ([]krak.MachineSpec, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", krak.ErrBadMachineSpec, err)
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		glob, err := filepath.Glob(filepath.Join(p, "*"+MachineFileExt))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", krak.ErrBadMachineSpec, err)
+		}
+		if len(glob) == 0 {
+			return nil, fmt.Errorf("%w: no %s files under %s", krak.ErrBadMachineSpec, MachineFileExt, p)
+		}
+		sort.Strings(glob)
+		files = append(files, glob...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%w: no machine files given", krak.ErrBadMachineSpec)
+	}
+	if len(files) > MaxMachines {
+		return nil, fmt.Errorf("%w: %d machine files, max %d", krak.ErrBadMachineSpec, len(files), MaxMachines)
+	}
+	specs := make([]krak.MachineSpec, 0, len(files))
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", krak.ErrBadMachineSpec, err)
+		}
+		ms, err := krak.ParseMachineFile(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		if ms.Name == "" {
+			ms.Name = strings.TrimSuffix(filepath.Base(f), MachineFileExt)
+		}
+		specs = append(specs, ms)
+	}
+	return specs, nil
+}

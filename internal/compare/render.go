@@ -1,0 +1,82 @@
+package compare
+
+import (
+	"fmt"
+	"strings"
+
+	"krak/internal/textplot"
+)
+
+// Render lays the report out for a terminal: a log-log scaling chart
+// (one series per machine), the per-machine summary table, and the
+// crossover narrative against the baseline. Deterministic for a fixed
+// report, like every textplot rendering.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Comparison: deck %s, %s", r.Deck, r.Op)
+	if r.Model != "" {
+		fmt.Fprintf(&b, " (%s)", r.Model)
+	}
+	fmt.Fprintf(&b, ", baseline %s\n\n", r.Baseline)
+
+	chart := textplot.Chart{
+		Title:  "Time vs PEs (log-log)",
+		XLabel: "PEs",
+		YLabel: "seconds",
+		LogX:   true,
+		LogY:   true,
+	}
+	for _, c := range r.Curves {
+		s := textplot.Series{Name: c.Machine}
+		for _, p := range c.Points {
+			s.Xs = append(s.Xs, float64(p.PEs))
+			s.Ys = append(s.Ys, p.Seconds)
+		}
+		chart.AddSeries(s)
+	}
+	b.WriteString(chart.Render())
+	b.WriteByte('\n')
+
+	header := []string{"machine", "network", "topology", "best", "knee", "crossover"}
+	var rows [][]string
+	for _, c := range r.Curves {
+		rows = append(rows, []string{
+			c.Machine,
+			c.Network,
+			c.Topology,
+			fmt.Sprintf("%.4gs @ %d", c.BestSeconds, c.BestPEs),
+			kneeCell(c.KneePEs),
+			crossoverCell(r, c.Machine),
+		})
+	}
+	b.WriteString(textplot.Table(header, rows))
+
+	for _, x := range r.Crossovers {
+		if x.PEs > 0 {
+			fmt.Fprintf(&b, "\n%s overtakes %s at %d PEs", x.Machine, r.Baseline, x.PEs)
+		} else {
+			fmt.Fprintf(&b, "\n%s never overtakes %s in this sweep", x.Machine, r.Baseline)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func kneeCell(pe int) string {
+	if pe == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", pe)
+}
+
+func crossoverCell(r *Report, machine string) string {
+	if machine == r.Baseline {
+		return "(baseline)"
+	}
+	for _, x := range r.Crossovers {
+		if x.Machine == machine {
+			return kneeCell(x.PEs)
+		}
+	}
+	return "-"
+}

@@ -39,6 +39,7 @@ type Segment struct {
 type Model struct {
 	name     string
 	segments []Segment // sorted by MinBytes, first entry must be MinBytes=0
+	topo     Topology  // zero value = flat (the paper's collectives)
 }
 
 // New validates and builds a model from segments. Segments may be given in
@@ -117,22 +118,25 @@ func TreeDepth(p int) int {
 }
 
 // Bcast returns the modeled time for a single one-to-all broadcast of the
-// given payload over P processors: log2(P) * Tmsg(S).
+// given payload over P processors: log2(P) * Tmsg(S), with each stage
+// carrying the topology's distance and contention terms when the model has
+// a non-flat Topology (see topology.go).
 func (m *Model) Bcast(p, bytes int) float64 {
-	return float64(TreeDepth(p)) * m.MsgTime(bytes)
+	return float64(TreeDepth(p)) * m.stageTime(p, bytes)
 }
 
 // Allreduce returns the modeled time for a synchronizing all-reduce of the
-// given payload: fan-in plus fan-out, 2 * log2(P) * Tmsg(S).
+// given payload: fan-in plus fan-out, 2 * log2(P) * Tmsg(S), stages
+// topology-adjusted like Bcast.
 func (m *Model) Allreduce(p, bytes int) float64 {
-	return 2 * float64(TreeDepth(p)) * m.MsgTime(bytes)
+	return 2 * float64(TreeDepth(p)) * m.stageTime(p, bytes)
 }
 
 // Gather returns the modeled time for an all-to-one gather per Equation (10):
-// log2(P) * Tmsg(S). (The paper models the gather as a fan-in of fixed-size
-// messages.)
+// log2(P) * Tmsg(S), stages topology-adjusted like Bcast. (The paper models
+// the gather as a fan-in of fixed-size messages.)
 func (m *Model) Gather(p, bytes int) float64 {
-	return float64(TreeDepth(p)) * m.MsgTime(bytes)
+	return float64(TreeDepth(p)) * m.stageTime(p, bytes)
 }
 
 // Segments returns a copy of the model's segments (sorted by MinBytes).

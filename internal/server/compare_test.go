@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"krak/internal/compare"
+	"krak/internal/engine"
+	"krak/pkg/krak"
+)
+
+// compareBody is a two-machine comparison request on shrunken decks,
+// exercising a topology-bearing spec over the wire.
+const compareBody = `{
+  "deck": "small",
+  "pes": [2, 4, 8],
+  "machines": [
+    {"name": "base", "interconnect": "qsnet"},
+    {"name": "fast", "interconnect": "infiniband",
+     "topology": {"kind": "fat-tree", "hop_latency_us": 0.2, "radix": 36}}
+  ]
+}`
+
+// TestCompareByteIdenticalToCLI pins the endpoint's contract: the
+// response must be exactly what `krak compare --json` prints for the
+// same request — the property the CI compare-smoke job diffs end to end.
+func TestCompareByteIdenticalToCLI(t *testing.T) {
+	// The CLI path: specs with -quick applied, compare.Run, MarshalIndent.
+	req := compare.Request{
+		Deck: "small",
+		PEs:  []int{2, 4, 8},
+		Machines: []krak.MachineSpec{
+			{Name: "base", Interconnect: "qsnet", Quick: true},
+			{Name: "fast", Interconnect: "infiniband", Quick: true,
+				Topology: &krak.TopologySpec{Kind: "fat-tree", HopLatencyUS: 0.2, Radix: 36}},
+		},
+	}
+	rep, err := compare.Run(context.Background(), req,
+		compare.NewBuilder(krak.NewSharedArtifacts()), engine.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli = append(cli, '\n') // fmt.Println in the CLI
+
+	// The server path: same machines without quick; the quick server's
+	// config forces it, like the CI smoke job's `krak serve -quick`.
+	s := quickServer()
+	w := post(t, s, "/v1/compare", compareBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Body.String(); got != string(cli) {
+		t.Errorf("server response is not byte-identical to CLI --json output:\n--- server ---\n%s\n--- cli ---\n%s", got, cli)
+	}
+}
+
+func TestCompareResponseCachedAndShaped(t *testing.T) {
+	s := quickServer()
+	first := post(t, s, "/v1/compare", compareBody)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body.String())
+	}
+	var rep compare.Report
+	if err := json.Unmarshal(first.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if rep.Schema != compare.Schema || len(rep.Curves) != 2 || rep.Baseline != "base" {
+		t.Errorf("schema %q, %d curves, baseline %q", rep.Schema, len(rep.Curves), rep.Baseline)
+	}
+	if rep.Curves[1].Topology != "fat-tree radix 36" {
+		t.Errorf("topology column %q", rep.Curves[1].Topology)
+	}
+
+	hits := s.cacheHits.Load()
+	second := post(t, s, "/v1/compare", compareBody)
+	if second.Body.String() != first.Body.String() {
+		t.Error("repeated comparison returned different bytes")
+	}
+	if s.cacheHits.Load() != hits+1 {
+		t.Errorf("second request missed the response cache (hits %d -> %d)", hits, s.cacheHits.Load())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	s := quickServer()
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"no machines", `{"deck":"small"}`, http.StatusBadRequest},
+		{"unknown field", `{"machine":[]}`, http.StatusBadRequest},
+		{"bad interconnect", `{"machines":[{"name":"x","interconnect":"tokenring"}]}`, http.StatusBadRequest},
+		{"bad topology", `{"machines":[{"name":"x","topology":{"kind":"hypercube"}}]}`, http.StatusBadRequest},
+		{"missing baseline", `{"baseline":"nope","machines":[{"name":"x"}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := post(t, s, "/v1/compare", tc.body)
+			if w.Code != tc.status {
+				t.Errorf("status %d, want %d: %s", w.Code, tc.status, w.Body.String())
+			}
+			var env map[string]string
+			if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env["error"] == "" {
+				t.Errorf("error envelope: %v (%s)", err, w.Body.String())
+			}
+		})
+	}
+}
+
+// TestCompareRespectsMachineCap pins the 503 path: a comparison whose
+// machines would blow past the server's machine cap is refused, not
+// allowed to evict the known configurations other requests rely on.
+func TestCompareRespectsMachineCap(t *testing.T) {
+	s := quickServer()
+	var names []string
+	for i := 0; i < maxMachines+1; i++ {
+		names = append(names, `{"name":"m`+string(rune('a'+i%26))+string(rune('a'+i/26))+`","seed":`+itoa(i+1)+`}`)
+	}
+	body := `{"deck":"small","pes":[2],"machines":[` + strings.Join(names, ",") + `]}`
+	w := post(t, s, "/v1/compare", body)
+	// compare.MaxMachines == maxMachines, so the request is rejected at
+	// validation (400) before any machine is built; either way it must
+	// not succeed.
+	if w.Code == http.StatusOK {
+		t.Fatalf("oversized comparison served: %s", w.Body.String())
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

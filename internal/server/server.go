@@ -6,6 +6,7 @@
 //	POST /v1/predict            analytic model (micro-batched, cached)
 //	POST /v1/simulate           cluster simulator (cached)
 //	POST /v1/sweep              concurrent (deck, PE) grid (uncached: timings vary)
+//	POST /v1/compare            one scenario across many machines (cached)
 //	POST /v1/calibrate          fit machine parameters to timings (cached)
 //	GET  /v1/experiments        the paper-artifact registry
 //	GET  /v1/experiments/{id}   one regenerated table/figure (cached)
@@ -129,6 +130,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/calibrate", s.handleCalibrate)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
@@ -162,6 +164,10 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 // errorStatus maps a typed krak error to its HTTP status.
 func errorStatus(err error) int {
 	switch {
+	case errors.Is(err, errTooManyMachines):
+		// The machine cap can surface through cached fills (compare builds
+		// its machines inside one), not only through machineFor call sites.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, krak.ErrUnknownExperiment):
 		return http.StatusNotFound
 	case errors.Is(err, krak.ErrUnknownDeck),

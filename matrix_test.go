@@ -1,0 +1,149 @@
+// The scenario matrix: every machine checked into the machines/ catalog
+// crossed with the flag combinations the CLI exposes, in the style of
+// Kratos-like test matrices — one table, every cell a subtest, so a
+// catalog edit or a flag regression fails with the exact (machine,
+// flags, op) coordinate in the test name.
+package krak
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"krak/internal/compare"
+	"krak/pkg/krak"
+)
+
+// matrixCatalogDir is the checked-in machine catalog at the repo root.
+const matrixCatalogDir = "machines"
+
+// matrixMachines loads the catalog once per call; every spec arrives
+// named (the machine directive or the file base name).
+func matrixMachines(t *testing.T) []krak.MachineSpec {
+	t.Helper()
+	specs, err := compare.LoadPaths([]string{matrixCatalogDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 8 {
+		t.Fatalf("catalog has %d machines, want >= 8", len(specs))
+	}
+	return specs
+}
+
+// matrixVariants are the flag combinations each machine is crossed
+// with. All run quick (shrunken decks) so the full matrix stays cheap;
+// serialize-sends flips the overlap model, the paper's Section 4 knob.
+var matrixVariants = []struct {
+	name   string
+	mutate func(*krak.MachineSpec)
+}{
+	{"quick", func(ms *krak.MachineSpec) { ms.Quick = true }},
+	{"quick+serialize-sends", func(ms *krak.MachineSpec) {
+		ms.Quick = true
+		ms.SerializeSends = true
+	}},
+}
+
+// matrixOps are the operations each (machine, variant) cell runs.
+var matrixOps = []string{"predict", "simulate"}
+
+// matrixRun builds the machine at the given parallelism and runs one op,
+// returning the Result.
+func matrixRun(t *testing.T, ms krak.MachineSpec, parallel int, op string, sa *krak.SharedArtifacts) *krak.Result {
+	t.Helper()
+	opts := append(ms.Options(), krak.WithParallelism(parallel), krak.WithSharedArtifacts(sa))
+	m, err := krak.NewMachine(opts...)
+	if err != nil {
+		t.Fatalf("building %s: %v", ms.Name, err)
+	}
+	var scOpts []krak.ScenarioOption
+	if op == "predict" {
+		scOpts = []krak.ScenarioOption{krak.WithDeck("small"), krak.WithPE(8),
+			krak.WithModel(krak.GeneralHomogeneous)}
+	} else {
+		scOpts = []krak.ScenarioOption{krak.WithDeck("small"), krak.WithPE(8),
+			krak.WithPartitioner("multilevel"), krak.WithIterations(1)}
+	}
+	sc, err := krak.NewScenario(scOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := krak.NewSession(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *krak.Result
+	if op == "predict" {
+		res, err = sess.Predict()
+	} else {
+		res, err = sess.Simulate()
+	}
+	if err != nil {
+		t.Fatalf("%s %s: %v", op, ms.Name, err)
+	}
+	return res
+}
+
+// TestScenarioMatrix runs every catalog machine through every flag
+// variant and op, asserting the two invariants every cell must hold:
+// times are finite and positive, and the Result is byte-identical at
+// parallelism 1 and 4 (worker-pool width must never leak into model or
+// simulator content).
+func TestScenarioMatrix(t *testing.T) {
+	sa := krak.NewSharedArtifacts()
+	for _, ms := range matrixMachines(t) {
+		for _, variant := range matrixVariants {
+			spec := ms
+			variant.mutate(&spec)
+			for _, op := range matrixOps {
+				t.Run(spec.Name+"/"+variant.name+"/"+op, func(t *testing.T) {
+					serial := matrixRun(t, spec, 1, op, sa)
+					if !(serial.TotalSeconds > 0) || math.IsInf(serial.TotalSeconds, 0) {
+						t.Errorf("total time %g, want finite and positive", serial.TotalSeconds)
+					}
+					parallel := matrixRun(t, spec, 4, op, sa)
+					want, err := json.Marshal(serial)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := json.Marshal(parallel)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(want) {
+						t.Errorf("parallel(4) result differs from parallel(1):\n--- parallel ---\n%s\n--- serial ---\n%s", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestScenarioMatrixCoversCatalog fails when a catalog file gains no
+// matrix row or a matrix name matches no catalog file: the matrix set
+// must be exactly the *.machine files under machines/, each named by its
+// machine directive matching its file base name (so matrix failures,
+// goldens, and `krak compare` all key on the same names).
+func TestScenarioMatrixCoversCatalog(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(matrixCatalogDir, "*"+compare.MachineFileExt))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("reading catalog: %v (%d files)", err, len(files))
+	}
+	inMatrix := map[string]bool{}
+	for _, ms := range matrixMachines(t) {
+		inMatrix[ms.Name] = true
+	}
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), compare.MachineFileExt)
+		if !inMatrix[name] {
+			t.Errorf("catalog file %s has no matrix row (its machine directive must match the file base name)", filepath.Base(f))
+		}
+		delete(inMatrix, name)
+	}
+	for name := range inMatrix {
+		t.Errorf("matrix machine %q matches no catalog file", name)
+	}
+}

@@ -36,6 +36,13 @@ type MachineSpec struct {
 	// and machine files' network/segment directives parse into.
 	Network *NetworkSpec `json:"network,omitempty"`
 
+	// Topology, when non-nil and not flat, refines the collective models
+	// with the interconnect's physical shape (machine files' topology
+	// directive). Orthogonal to Interconnect/Network: those set the
+	// point-to-point cost tables, this sets the distance and contention
+	// terms collectives pay on top.
+	Topology *TopologySpec `json:"topology,omitempty"`
+
 	// ComputeScale multiplies the machine's computation cost tables
 	// relative to the ES45 baseline; 0 means 1 (the baseline rate).
 	ComputeScale float64 `json:"compute_scale,omitempty"`
@@ -83,6 +90,9 @@ func (ms MachineSpec) Normalized() MachineSpec {
 	} else if ms.Interconnect == "" {
 		ms.Interconnect = "qsnet"
 	}
+	if ms.Topology != nil {
+		ms.Topology = ms.Topology.normalized()
+	}
 	if ms.Seed == 0 {
 		ms.Seed = 1
 	}
@@ -115,6 +125,9 @@ func (ms MachineSpec) Resolved() (MachineSpec, error) {
 	if ms.Network != nil {
 		base.Network = ms.Network
 	}
+	if ms.Topology != nil {
+		base.Topology = ms.Topology
+	}
 	if ms.ComputeScale != 0 {
 		base.ComputeScale = ms.ComputeScale
 	}
@@ -145,17 +158,21 @@ func (ms MachineSpec) Fingerprint() string {
 	n.Name = ""
 	b, err := json.Marshal(n)
 	if err != nil {
-		// Only non-finite floats (NaN scale or segment values — already
-		// invalid as a machine) can fail Marshal; fall back to a verbose
-		// but still deterministic pointer-free rendering rather than
-		// panic (%#v on the struct itself would print the Network
-		// pointer's address).
+		// Only non-finite floats (NaN scale, segment, or topology values —
+		// already invalid as a machine) can fail Marshal; fall back to a
+		// verbose but still deterministic pointer-free rendering rather
+		// than panic (%#v on the struct itself would print the Network and
+		// Topology pointers' addresses).
 		var net NetworkSpec
 		if n.Network != nil {
 			net = *n.Network
 		}
-		n.Network = nil
-		b = []byte(fmt.Sprintf("%#v|%#v", n, net))
+		var topo TopologySpec
+		if n.Topology != nil {
+			topo = *n.Topology
+		}
+		n.Network, n.Topology = nil, nil
+		b = []byte(fmt.Sprintf("%#v|%#v|%#v", n, net, topo))
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:16])
@@ -179,6 +196,9 @@ func (ms MachineSpec) Options() []MachineOption {
 		opts = append(opts, WithNetworkSpec(*ms.Network))
 	} else {
 		opts = append(opts, WithInterconnect(ms.Interconnect))
+	}
+	if ms.Topology != nil {
+		opts = append(opts, WithTopologySpec(*ms.Topology))
 	}
 	opts = append(opts, WithSeed(ms.Seed))
 	if ms.Name != "" {

@@ -24,6 +24,13 @@ func FuzzParseMachineFile(f *testing.F) {
 		"segment 0 1 1\n",
 		"compute-scale NaN\n",
 		"seed 99999999999999999999\n",
+		"interconnect infiniband\ntopology fat-tree 0.2 36\n",
+		"topology dragonfly 0.3 16\ncompute-scale 0.02\n",
+		"network x\nsegment 0 1 1\ntopology torus 0.5 8 8 8\n",
+		"topology torus 0.5\n",
+		"topology hypercube 1 4\n",
+		"topology fat-tree NaN 8\n",
+		"topology torus 0.2 4 4\n",
 		"machine " + strings.Repeat("m", 100) + "\n",
 		"network x\n" + strings.Repeat("segment 0 1 1\n", 70),
 		"\x00\xff",

@@ -56,6 +56,8 @@ type Machine struct {
 	repeatsSet   bool
 	computeScale float64
 
+	topology *netmodel.Topology
+
 	env  *experiments.Env
 	pool *engine.Pool
 
@@ -94,6 +96,23 @@ func WithNetworkSpec(ns NetworkSpec) MachineOption {
 		}
 		m.interconnect = "custom"
 		m.env.Net = net
+		return nil
+	}
+}
+
+// WithTopologySpec attaches a physical interconnect topology to the
+// machine's network model, refining its collective times with distance
+// and bisection-contention terms (machine files' topology directive and
+// the wire MachineSpec's topology field). Applied once, after all
+// options, so it composes with WithInterconnect and WithNetworkSpec in
+// any order. Invalid specs return ErrBadMachineSpec.
+func WithTopologySpec(ts TopologySpec) MachineOption {
+	return func(m *Machine) error {
+		t, err := ts.Topology()
+		if err != nil {
+			return err
+		}
+		m.topology = &t
 		return nil
 	}
 }
@@ -204,6 +223,15 @@ func NewMachine(opts ...MachineOption) (*Machine, error) {
 	if m.quick && !m.repeatsSet {
 		m.env.Repeats = 2
 	}
+	if m.topology != nil {
+		// Applied once, after all options, so a later WithInterconnect or
+		// WithNetworkSpec cannot silently drop the topology.
+		net, err := m.env.Net.WithTopology(*m.topology)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMachineSpec, err)
+		}
+		m.env.Net = net
+	}
 	if m.computeScale == 0 {
 		m.computeScale = 1
 	}
@@ -265,6 +293,15 @@ func (m *Machine) Parallelism() int { return m.pool.Workers() }
 // Name returns the machine's display name ("" unless set by WithName or
 // a machine file).
 func (m *Machine) Name() string { return m.name }
+
+// Topology describes the machine's interconnect topology, e.g. "flat"
+// (the default), "fat-tree radix 36", "8x8x8 torus".
+func (m *Machine) Topology() string {
+	if m.topology == nil {
+		return "flat"
+	}
+	return m.topology.String()
+}
 
 // ComputeScale returns the machine's compute cost multiplier relative to
 // the ES45 baseline (1 unless WithComputeScale changed it).

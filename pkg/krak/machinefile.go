@@ -93,6 +93,75 @@ func (s SegmentSpec) validate(i int) error {
 	return nil
 }
 
+// TopologySpec is the declarative form of a netmodel.Topology: the
+// physical interconnect shape refining the collective models, usable in
+// machine files (the topology directive) and wire requests. The zero
+// value, a nil pointer, and kind "flat" all mean the paper's flat
+// collectives.
+type TopologySpec struct {
+	// Kind is "fat-tree", "dragonfly", or "torus" ("" or "flat" = the
+	// paper's flat model).
+	Kind string `json:"kind"`
+
+	// HopLatencyUS is the extra start-up cost of each switch hop beyond
+	// the first, in microseconds.
+	HopLatencyUS float64 `json:"hop_latency_us,omitempty"`
+
+	// Radix is the fat-tree switch port count.
+	Radix int `json:"radix,omitempty"`
+
+	// GroupSize is the dragonfly group width in nodes.
+	GroupSize int `json:"group_size,omitempty"`
+
+	// Dims are the torus dimensions: empty (or all zero) derives a
+	// near-cubic box from the PE count, otherwise exactly three entries.
+	Dims []int `json:"dims,omitempty"`
+}
+
+// Topology validates the spec and builds the netmodel topology it
+// describes. Defects are reported wrapping ErrBadMachineSpec.
+func (ts TopologySpec) Topology() (netmodel.Topology, error) {
+	var t netmodel.Topology
+	switch ts.Kind {
+	case "", "flat":
+		// The zero topology; an explicit hop latency is still validated.
+		t.HopLatency = ts.HopLatencyUS * 1e-6
+	case "fat-tree":
+		t = netmodel.FatTree(ts.Radix, ts.HopLatencyUS*1e-6)
+	case "dragonfly":
+		t = netmodel.Dragonfly(ts.GroupSize, ts.HopLatencyUS*1e-6)
+	case "torus":
+		switch len(ts.Dims) {
+		case 0:
+			t = netmodel.Torus3D(0, 0, 0, ts.HopLatencyUS*1e-6)
+		case 3:
+			t = netmodel.Torus3D(ts.Dims[0], ts.Dims[1], ts.Dims[2], ts.HopLatencyUS*1e-6)
+		default:
+			return t, fmt.Errorf("%w: topology torus wants 0 or 3 dims, got %d", ErrBadMachineSpec, len(ts.Dims))
+		}
+	default:
+		return t, fmt.Errorf("%w: unknown topology kind %q (fat-tree|dragonfly|torus)", ErrBadMachineSpec, ts.Kind)
+	}
+	if err := t.Validate(); err != nil {
+		return netmodel.Topology{}, fmt.Errorf("%w: %v", ErrBadMachineSpec, err)
+	}
+	return t, nil
+}
+
+// normalized returns the canonical pointer form: nil for the flat
+// topology, all-zero torus dims collapsed to none — so two spellings of
+// the same shape share a Fingerprint.
+func (ts TopologySpec) normalized() *TopologySpec {
+	if ts.Kind == "" || ts.Kind == "flat" {
+		return nil
+	}
+	if ts.Kind == "torus" && len(ts.Dims) == 3 &&
+		ts.Dims[0] == 0 && ts.Dims[1] == 0 && ts.Dims[2] == 0 {
+		ts.Dims = nil
+	}
+	return &ts
+}
+
 // ParseMachineFile parses the textual machine format into a MachineSpec.
 // The format is line-oriented; '#' starts a comment and blank lines are
 // ignored. Directives:
@@ -101,6 +170,9 @@ func (s SegmentSpec) validate(i int) error {
 //	interconnect qsnet|gige|infiniband  preset network (default qsnet)
 //	network NAME                      begin a custom network instead
 //	segment MINBYTES LATENCY_US BW_MBS  one piecewise segment (after network)
+//	topology fat-tree HOPLAT_US RADIX   physical topology refining the
+//	topology dragonfly HOPLAT_US GROUPSIZE  collective models (default
+//	topology torus HOPLAT_US [X Y Z]    flat, the paper's model)
 //	compute-scale F                   compute cost multiplier vs the
 //	                                  baseline ES45 tables (default 1)
 //	seed N                            partitioner seed
@@ -206,6 +278,51 @@ func (p *machineParser) directive(lineNo int, fields []string) error {
 			return fmt.Errorf("%w (line %d)", err, lineNo)
 		}
 		p.network.Segments = append(p.network.Segments, seg)
+	case "topology":
+		if p.ms.Topology != nil {
+			return lineErr(lineNo, "duplicate topology directive")
+		}
+		if len(fields) < 3 {
+			return lineErr(lineNo, "want \"topology fat-tree HOPLAT_US RADIX\", \"topology dragonfly HOPLAT_US GROUPSIZE\", or \"topology torus HOPLAT_US [X Y Z]\"")
+		}
+		hop, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return lineErr(lineNo, "hop latency %q must be a number (microseconds)", fields[2])
+		}
+		ts := &TopologySpec{Kind: fields[1], HopLatencyUS: hop}
+		switch fields[1] {
+		case "fat-tree", "dragonfly":
+			if len(fields) != 4 {
+				return lineErr(lineNo, "want \"topology %s HOPLAT_US %s\"", fields[1],
+					map[string]string{"fat-tree": "RADIX", "dragonfly": "GROUPSIZE"}[fields[1]])
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return lineErr(lineNo, "topology %s parameter %q must be an integer", fields[1], fields[3])
+			}
+			if fields[1] == "fat-tree" {
+				ts.Radix = n
+			} else {
+				ts.GroupSize = n
+			}
+		case "torus":
+			if len(fields) != 3 && len(fields) != 6 {
+				return lineErr(lineNo, "want \"topology torus HOPLAT_US\" or \"topology torus HOPLAT_US X Y Z\"")
+			}
+			for _, f := range fields[3:] {
+				d, err := strconv.Atoi(f)
+				if err != nil {
+					return lineErr(lineNo, "torus dim %q must be an integer", f)
+				}
+				ts.Dims = append(ts.Dims, d)
+			}
+		default:
+			return lineErr(lineNo, "unknown topology %q (fat-tree|dragonfly|torus)", fields[1])
+		}
+		if _, err := ts.Topology(); err != nil {
+			return fmt.Errorf("%w (line %d)", err, lineNo)
+		}
+		p.ms.Topology = ts
 	case "compute-scale":
 		if len(fields) != 2 {
 			return lineErr(lineNo, "want \"compute-scale F\"")
@@ -287,6 +404,21 @@ func FormatMachineFile(ms MachineSpec) []byte {
 		}
 	} else {
 		fmt.Fprintf(&b, "interconnect %s\n", ms.Interconnect)
+	}
+	if ts := ms.Topology; ts != nil {
+		hop := strconv.FormatFloat(ts.HopLatencyUS, 'g', -1, 64)
+		switch ts.Kind {
+		case "fat-tree":
+			fmt.Fprintf(&b, "topology fat-tree %s %d\n", hop, ts.Radix)
+		case "dragonfly":
+			fmt.Fprintf(&b, "topology dragonfly %s %d\n", hop, ts.GroupSize)
+		case "torus":
+			if len(ts.Dims) == 3 {
+				fmt.Fprintf(&b, "topology torus %s %d %d %d\n", hop, ts.Dims[0], ts.Dims[1], ts.Dims[2])
+			} else {
+				fmt.Fprintf(&b, "topology torus %s\n", hop)
+			}
+		}
 	}
 	if ms.ComputeScale != 1 {
 		fmt.Fprintf(&b, "compute-scale %s\n", strconv.FormatFloat(ms.ComputeScale, 'g', -1, 64))

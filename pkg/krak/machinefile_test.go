@@ -74,6 +74,41 @@ segment 4096 15 240
 	}
 }
 
+func TestParseMachineFileTopology(t *testing.T) {
+	src := []byte(`machine ib-fattree
+interconnect infiniband
+topology fat-tree 0.2 36   # radix-36 switches
+`)
+	ms, err := ParseMachineFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &TopologySpec{Kind: "fat-tree", HopLatencyUS: 0.2, Radix: 36}
+	if !reflect.DeepEqual(ms.Topology, want) {
+		t.Errorf("parsed topology %+v, want %+v", ms.Topology, want)
+	}
+	m, err := LoadMachine(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Topology() != "fat-tree radix 36" {
+		t.Errorf("machine topology %q", m.Topology())
+	}
+	if flat := QsNetCluster(); flat.Topology() != "flat" {
+		t.Errorf("default machine topology %q, want flat", flat.Topology())
+	}
+
+	// Topology composes with a custom network, and fixed torus dims
+	// survive the trip into the machine.
+	m, err = LoadMachine([]byte("network x\nsegment 0 1 1\ntopology torus 0.5 8 8 8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Topology() != "8x8x8 torus" || m.NetworkName() != "x" {
+		t.Errorf("machine: topology %q network %q", m.Topology(), m.NetworkName())
+	}
+}
+
 func TestParseMachineFileErrors(t *testing.T) {
 	cases := []struct {
 		name, src, wantErr string
@@ -96,6 +131,17 @@ func TestParseMachineFileErrors(t *testing.T) {
 		{"bad repeats", "repeats 0\n", "repeats"},
 		{"quick args", "quick please\n", "no arguments"},
 		{"long name", "machine " + strings.Repeat("m", 65) + "\n", "exceeds 64 bytes"},
+		{"topology arity", "topology fat-tree 0.2\n", "want \"topology fat-tree"},
+		{"unknown topology", "topology hypercube 1 4\n", "unknown topology"},
+		{"bad radix", "topology fat-tree 0.2 2\n", "radix"},
+		{"bad group size", "topology dragonfly 0.2 1\n", "group size"},
+		{"torus dims arity", "topology torus 0.2 4 4\n", "topology torus"},
+		{"torus zero dim", "topology torus 0.2 4 0 4\n", "torus dims"},
+		{"torus huge dim", "topology torus 0.2 4 4 5000\n", "torus dims"},
+		{"duplicate topology", "topology torus 0.2\ntopology torus 0.2\n", "duplicate topology"},
+		{"nan hop latency", "topology fat-tree NaN 8\n", "hop latency"},
+		{"huge hop latency", "topology fat-tree 2e6 8\n", "hop latency"},
+		{"bad hop latency", "topology fat-tree fast 8\n", "hop latency"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -125,6 +171,11 @@ func TestMachineFileRoundTrip(t *testing.T) {
 			{MinBytes: 65536, LatencyUS: 4, BandwidthMBs: 6400},
 		}}},
 		{Network: &NetworkSpec{Segments: []SegmentSpec{{MinBytes: 0}}}}, // free network
+		{Interconnect: "infiniband", Topology: &TopologySpec{Kind: "fat-tree", HopLatencyUS: 0.2, Radix: 36}},
+		{Topology: &TopologySpec{Kind: "dragonfly", HopLatencyUS: 0.3, GroupSize: 16}},
+		{Topology: &TopologySpec{Kind: "torus", HopLatencyUS: 0.5}},
+		{Topology: &TopologySpec{Kind: "torus", HopLatencyUS: 0.5, Dims: []int{8, 8, 8}}},
+		{Topology: &TopologySpec{Kind: "flat"}}, // normalizes away entirely
 	}
 	for i, ms := range specs {
 		text := FormatMachineFile(ms)
@@ -196,6 +247,19 @@ func TestMachineSpecFingerprint(t *testing.T) {
 	withIC.Interconnect = "gige"
 	if withIC.Fingerprint() != a.Fingerprint() {
 		t.Error("ignored interconnect alongside a custom network changes the fingerprint")
+	}
+	// Topology spellings: flat == absent, all-zero torus dims == derived.
+	if (MachineSpec{Topology: &TopologySpec{Kind: "flat"}}).Fingerprint() != (MachineSpec{}).Fingerprint() {
+		t.Error("explicit flat topology changes the fingerprint")
+	}
+	tz := MachineSpec{Topology: &TopologySpec{Kind: "torus", HopLatencyUS: 0.5, Dims: []int{0, 0, 0}}}
+	td := MachineSpec{Topology: &TopologySpec{Kind: "torus", HopLatencyUS: 0.5}}
+	if tz.Fingerprint() != td.Fingerprint() {
+		t.Error("all-zero torus dims change the fingerprint vs derived dims")
+	}
+	ft := MachineSpec{Topology: &TopologySpec{Kind: "fat-tree", HopLatencyUS: 0.5, Radix: 36}}
+	if ft.Fingerprint() == td.Fingerprint() || ft.Fingerprint() == (MachineSpec{}).Fingerprint() {
+		t.Error("distinct topologies share a fingerprint")
 	}
 }
 
