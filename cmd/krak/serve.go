@@ -29,6 +29,14 @@ func runServe(args []string) error {
 	cacheSize := fs.Int("cache-size", 1024, "rendered-response LRU capacity (entries)")
 	quick := fs.Bool("quick", false, "serve scaled-down decks and calibrations")
 	batchWindow := fs.Duration("batch-window", 500*time.Microsecond, "micro-batch collection window for /v1/predict")
+	cacheDir := fs.String("cache-dir", "", "disk cache directory for partitions and rendered responses (persists across restarts; empty = off)")
+	lightLimit := fs.Int("light-limit", 0, "concurrent in-flight limit for cached-read endpoints (0 = default 256, -1 = unlimited)")
+	lightQueue := fs.Int("light-queue", 0, "admission wait-queue depth for cached-read endpoints (0 = default 1024, -1 = no queue)")
+	heavyLimit := fs.Int("heavy-limit", 0, "concurrent in-flight limit for sweep/compare/calibrate (0 = default 4, -1 = unlimited)")
+	heavyQueue := fs.Int("heavy-queue", 0, "admission wait-queue depth for sweep/compare/calibrate (0 = default 16, -1 = no queue)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request timeout for heavy endpoints once admitted (0 = none)")
+	maxJobs := fs.Int("max-jobs", 0, "cap on live background jobs (0 = default 256)")
+	jobTTL := fs.Duration("job-ttl", 0, "how long finished job results stay fetchable (0 = default 15m)")
 	pf := addProfileFlags(fs)
 	fs.Parse(args)
 	stopProf, err := pf.start()
@@ -46,13 +54,27 @@ func runServe(args []string) error {
 	if *batchWindow < 0 {
 		return fmt.Errorf("krak: -batch-window must be >= 0, got %v", *batchWindow)
 	}
+	if *requestTimeout < 0 {
+		return fmt.Errorf("krak: -request-timeout must be >= 0, got %v", *requestTimeout)
+	}
 
-	h := server.New(server.Config{
-		Parallel:    *parallel,
-		CacheSize:   *cacheSize,
-		Quick:       *quick,
-		BatchWindow: *batchWindow,
+	h, err := server.New(server.Config{
+		Parallel:       *parallel,
+		CacheSize:      *cacheSize,
+		Quick:          *quick,
+		BatchWindow:    *batchWindow,
+		CacheDir:       *cacheDir,
+		LightLimit:     *lightLimit,
+		LightQueue:     *lightQueue,
+		HeavyLimit:     *heavyLimit,
+		HeavyQueue:     *heavyQueue,
+		RequestTimeout: *requestTimeout,
+		MaxJobs:        *maxJobs,
+		JobTTL:         *jobTTL,
 	})
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{Addr: *addr, Handler: h}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -25,6 +26,10 @@ type cacheEntry[V any] struct {
 	err  error
 }
 
+// ErrCacheFull is returned by GetBounded when the cache already holds its
+// limit of distinct keys and the requested key is not among them.
+var ErrCacheFull = errors.New("engine: cache at capacity")
+
 // Get returns the cached value for key, computing and storing it with
 // compute on the first call. Errors are cached too: a failed computation
 // is not retried, mirroring the repo's previous memoization behavior. If
@@ -32,12 +37,29 @@ type cacheEntry[V any] struct {
 // poisoned with an error — later Gets for the key receive that error
 // rather than a zero value masquerading as success.
 func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	return c.GetBounded(key, 0, compute)
+}
+
+// GetBounded is Get with an atomic reserve-under-cap: when limit > 0 and
+// the cache already holds limit distinct keys, a request for a new key
+// returns ErrCacheFull without computing anything, while known keys keep
+// serving. The existence check and the slot reservation happen under one
+// lock acquisition, so concurrent first-time requests for distinct new
+// keys cannot all pass a "len < limit" check and overshoot the cap — the
+// TOCTOU a separate Len()/Has()/Get() sequence is exposed to. limit <= 0
+// means unbounded (plain Get).
+func (c *Cache[K, V]) GetBounded(key K, limit int, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[K]*cacheEntry[V])
 	}
 	e, ok := c.m[key]
 	if !ok {
+		if limit > 0 && len(c.m) >= limit {
+			c.mu.Unlock()
+			var zero V
+			return zero, ErrCacheFull
+		}
 		e = &cacheEntry[V]{}
 		c.m[key] = e
 	}

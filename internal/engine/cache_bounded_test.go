@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetBoundedRefusesNewKeysAtCap(t *testing.T) {
+	var c Cache[int, int]
+	for i := 0; i < 4; i++ {
+		if _, err := c.GetBounded(i, 4, func() (int, error) { return i, nil }); err != nil {
+			t.Fatalf("key %d under cap: %v", i, err)
+		}
+	}
+	if _, err := c.GetBounded(99, 4, func() (int, error) { return 0, nil }); !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("new key at cap: %v, want ErrCacheFull", err)
+	}
+	// Known keys keep serving at the cap, without recomputing.
+	v, err := c.GetBounded(2, 4, func() (int, error) {
+		t.Error("known key recomputed")
+		return -1, nil
+	})
+	if err != nil || v != 2 {
+		t.Fatalf("known key at cap: v=%d err=%v", v, err)
+	}
+	// limit <= 0 is unbounded.
+	if _, err := c.GetBounded(99, 0, func() (int, error) { return 99, nil }); err != nil {
+		t.Fatalf("unbounded: %v", err)
+	}
+}
+
+// TestGetBoundedConcurrentCap is the TOCTOU regression test at the
+// primitive level: a burst of first-time requests for distinct new keys,
+// far more than the cap, must never push the cache past it — the check
+// and the slot reservation are one atomic step, not a Len()/Has() peek
+// followed by a separate Get.
+func TestGetBoundedConcurrentCap(t *testing.T) {
+	const (
+		cap     = 16
+		hammers = 128
+	)
+	var c Cache[string, int]
+	var admitted, refused atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < hammers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, err := c.GetBounded(fmt.Sprintf("key-%d", i), cap, func() (int, error) { return i, nil })
+			switch {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, ErrCacheFull):
+				refused.Add(1)
+			default:
+				t.Errorf("key %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := c.Len(); got > cap {
+		t.Fatalf("cache overshot the cap: len=%d > %d", got, cap)
+	}
+	if admitted.Load() != cap || refused.Load() != hammers-cap {
+		t.Fatalf("admitted=%d refused=%d, want %d/%d", admitted.Load(), refused.Load(), cap, hammers-cap)
+	}
+}

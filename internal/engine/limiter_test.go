@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToLimit(t *testing.T) {
+	l := NewLimiter(3, 0)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := l.Acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := l.InFlight(); got != 3 {
+		t.Fatalf("InFlight = %d, want 3", got)
+	}
+	// Queue depth 0: the fourth caller is refused instantly.
+	if err := l.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+// TestLimiterBoundedQueue saturates the slots, fills the wait queue with
+// blocked callers, and checks the next caller is refused while the queued
+// ones eventually run.
+func TestLimiterBoundedQueue(t *testing.T) {
+	l := NewLimiter(1, 2)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(ctx); err != nil {
+				t.Errorf("queued acquire: %v", err)
+				return
+			}
+			admitted.Add(1)
+			l.Release()
+		}()
+	}
+	// Wait until both are in the queue, then the third must be refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Waiting() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: waiting=%d", l.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("over-queue acquire: %v, want ErrSaturated", err)
+	}
+	l.Release() // let the queued pair through, one at a time
+	wg.Wait()
+	if n := admitted.Load(); n != 2 {
+		t.Fatalf("admitted %d queued callers, want 2", n)
+	}
+	// Every queued caller released its own slot on the way out.
+	if l.InFlight() != 0 || l.Waiting() != 0 {
+		t.Fatalf("not drained: inflight=%d waiting=%d", l.InFlight(), l.Waiting())
+	}
+}
+
+func TestLimiterAcquireHonorsContext(t *testing.T) {
+	l := NewLimiter(1, 4)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if l.Waiting() != 0 {
+		t.Fatalf("abandoned waiter still queued: %d", l.Waiting())
+	}
+}
+
+// TestLimiterWaitBypassesQueueBound checks Wait blocks past a full queue
+// instead of being refused — the path background jobs take.
+func TestLimiterWaitBypassesQueueBound(t *testing.T) {
+	l := NewLimiter(1, 0)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Acquire would be refused; Wait must block and then win.
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("acquire: %v, want ErrSaturated", err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- l.Wait(context.Background()) }()
+	select {
+	case err := <-got:
+		t.Fatalf("Wait returned %v before a slot freed", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	l.Release()
+}
+
+func TestLimiterNilIsUnlimited(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		if err := l.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	if l.InFlight() != 0 || l.Waiting() != 0 || l.Limit() != 0 || l.QueueDepth() != 0 {
+		t.Fatal("nil limiter reports occupancy")
+	}
+}
+
+func TestLimiterClamps(t *testing.T) {
+	l := NewLimiter(0, -3)
+	if l.Limit() != 1 || l.QueueDepth() != 0 {
+		t.Fatalf("limit=%d queue=%d, want 1/0", l.Limit(), l.QueueDepth())
+	}
+}

@@ -35,6 +35,36 @@ type lruEntry[K comparable, V any] struct {
 	elem *list.Element // nil while the fill is in flight
 }
 
+// LRUOutcome classifies how a Do call was served. A serving layer that
+// reports a hit rate needs the three-way distinction: a caller coalesced
+// onto an in-flight fill waited on a fresh computation and must not be
+// counted as a cache hit, but it did not run a computation of its own
+// either.
+type LRUOutcome int
+
+const (
+	// LRUMiss: this call ran the computation.
+	LRUMiss LRUOutcome = iota
+	// LRUHit: the value was already cached; nothing was computed.
+	LRUHit
+	// LRUCoalesced: another call's in-flight computation was joined and
+	// its outcome shared.
+	LRUCoalesced
+)
+
+// String names the outcome for counters and logs.
+func (o LRUOutcome) String() string {
+	switch o {
+	case LRUMiss:
+		return "miss"
+	case LRUHit:
+		return "hit"
+	case LRUCoalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
 // NewLRU returns an LRU holding at most capacity filled entries.
 // capacity <= 0 selects 1.
 func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
@@ -79,17 +109,23 @@ func (l *LRU[K, V]) Get(key K) (V, bool) {
 // returned to every waiter but not cached, so a later Do retries. If
 // compute panics, the panic propagates to the caller that ran it and the
 // waiters receive an error.
-func (l *LRU[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+//
+// The returned LRUOutcome says how this call was served: LRUHit for a
+// filled entry, LRUMiss when this call ran compute, and LRUCoalesced when
+// it joined a stranger's in-flight fill. A coalesced call waited on a
+// fresh computation — counting it as a hit overreports the hit rate under
+// concurrency (the serving layer's regression test pins all three).
+func (l *LRU[K, V]) Do(key K, compute func() (V, error)) (V, LRUOutcome, error) {
 	l.mu.Lock()
 	if e, ok := l.m[key]; ok {
 		if e.elem != nil { // filled: a plain hit
 			l.ll.MoveToFront(e.elem)
 			l.mu.Unlock()
-			return e.val, e.err
+			return e.val, LRUHit, e.err
 		}
 		l.mu.Unlock() // in flight: wait for the filler
 		<-e.done
-		return e.val, e.err
+		return e.val, LRUCoalesced, e.err
 	}
 	e := &lruEntry[K, V]{key: key, done: make(chan struct{})}
 	l.m[key] = e
@@ -125,7 +161,7 @@ func (l *LRU[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 	}
 	l.mu.Unlock()
 	close(e.done)
-	return e.val, e.err
+	return e.val, LRUMiss, e.err
 }
 
 // errLRUPanic is what waiters coalesced onto a panicking fill receive.

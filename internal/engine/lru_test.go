@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLRUHitMissEvict(t *testing.T) {
@@ -15,7 +16,7 @@ func TestLRUHitMissEvict(t *testing.T) {
 	}
 	fills := 0
 	get := func(k int) string {
-		v, err := l.Do(k, func() (string, error) {
+		v, _, err := l.Do(k, func() (string, error) {
 			fills++
 			return fmt.Sprintf("v%d", k), nil
 		})
@@ -55,14 +56,14 @@ func TestLRUErrorsNotCached(t *testing.T) {
 	l := NewLRU[string, int](4)
 	boom := errors.New("boom")
 	calls := 0
-	_, err := l.Do("k", func() (int, error) { calls++; return 0, boom })
+	_, _, err := l.Do("k", func() (int, error) { calls++; return 0, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if l.Len() != 0 {
 		t.Fatalf("failed fill cached: len=%d", l.Len())
 	}
-	v, err := l.Do("k", func() (int, error) { calls++; return 7, nil })
+	v, _, err := l.Do("k", func() (int, error) { calls++; return 7, nil })
 	if err != nil || v != 7 {
 		t.Fatalf("retry: v=%d err=%v", v, err)
 	}
@@ -84,7 +85,7 @@ func TestLRUSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := l.Do("k", func() (int, error) {
+			v, _, err := l.Do("k", func() (int, error) {
 				fills.Add(1)
 				<-release
 				return 42, nil
@@ -118,9 +119,92 @@ func TestLRUPanicPropagatesAndUnpins(t *testing.T) {
 		l.Do("k", func() (int, error) { panic("kaboom") })
 	}()
 	// The key must not be stuck in flight: a later Do computes fresh.
-	v, err := l.Do("k", func() (int, error) { return 1, nil })
+	v, _, err := l.Do("k", func() (int, error) { return 1, nil })
 	if err != nil || v != 1 {
 		t.Fatalf("after panic: v=%d err=%v", v, err)
+	}
+}
+
+// TestLRUOutcomes pins the three-way hit/miss/coalesced classification:
+// the first Do for a key is a miss, callers that join its in-flight fill
+// are coalesced (not hits — they waited on a fresh computation), and only
+// a Do against the filled entry is a hit. This is the regression test for
+// the serving layer's hit-rate miscount, at the primitive level.
+func TestLRUOutcomes(t *testing.T) {
+	l := NewLRU[string, int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var mu sync.Mutex
+	counts := map[LRUOutcome]int{}
+	record := func(o LRUOutcome) {
+		mu.Lock()
+		counts[o]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, o, err := l.Do("k", func() (int, error) {
+			close(started) // entry is registered; coalescers are now guaranteed
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		record(o)
+	}()
+	<-started
+
+	const coalescers = 3
+	var arrived sync.WaitGroup
+	for i := 0; i < coalescers; i++ {
+		wg.Add(1)
+		arrived.Add(1)
+		go func() {
+			defer wg.Done()
+			arrived.Done() // next instruction is Do; the fill is still blocked
+			_, o, err := l.Do("k", func() (int, error) {
+				t.Error("coalescer ran the fill")
+				return 0, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			record(o)
+		}()
+	}
+	// The fill cannot complete before release, so every coalescer that
+	// reaches Do first is guaranteed the in-flight path; arrived.Wait plus
+	// a settle window puts them there before the release.
+	arrived.Wait()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	_, o, err := l.Do("k", func() (int, error) {
+		t.Error("hit ran the fill")
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(o)
+
+	if counts[LRUMiss] != 1 || counts[LRUCoalesced] != coalescers || counts[LRUHit] != 1 {
+		t.Fatalf("outcomes miss=%d coalesced=%d hit=%d, want 1/%d/1",
+			counts[LRUMiss], counts[LRUCoalesced], counts[LRUHit], coalescers)
+	}
+}
+
+func TestLRUOutcomeString(t *testing.T) {
+	for o, want := range map[LRUOutcome]string{LRUMiss: "miss", LRUHit: "hit", LRUCoalesced: "coalesced", LRUOutcome(99): "unknown"} {
+		if got := o.String(); got != want {
+			t.Errorf("LRUOutcome(%d).String() = %q, want %q", int(o), got, want)
+		}
 	}
 }
 

@@ -29,6 +29,16 @@ type predictBatcher struct {
 
 	mu    sync.Mutex
 	queue []*predictJob
+	// timer is the window timer armed by the current queue's first job;
+	// gen numbers queue generations. Both guard against the stale-timer
+	// bug: a batch that fills to maxBatch dispatches early, and the timer
+	// its first job armed must not survive to fire into the *next* batch's
+	// window and flush it prematurely. The timer is stopped on early
+	// dispatch, and — because Stop cannot win a race against a timer
+	// already firing — flush additionally ignores timers whose generation
+	// is no longer current.
+	timer *time.Timer
+	gen   uint64
 
 	// batches and jobs count dispatches and the jobs they carried — the
 	// coalescing ratio /healthz reports.
@@ -61,15 +71,18 @@ func (b *predictBatcher) predict(ctx context.Context, m *krak.Machine, sc *krak.
 	b.queue = append(b.queue, j)
 	switch {
 	case len(b.queue) >= maxBatch:
-		jobs := b.queue
-		b.queue = nil
+		// Early dispatch: take the batch AND retire its window timer, so
+		// it cannot fire later and shrink the next batch's window.
+		jobs := b.take()
 		b.mu.Unlock()
 		go b.dispatch(jobs)
 	case len(b.queue) == 1:
 		// First job in: open the window. The timer flushes whatever has
-		// accumulated by then.
+		// accumulated by then — but only this queue generation; a timer
+		// that outlives its batch is a no-op.
+		gen := b.gen
+		b.timer = time.AfterFunc(b.window, func() { b.flush(gen) })
 		b.mu.Unlock()
-		time.AfterFunc(b.window, b.flush)
 	default:
 		b.mu.Unlock()
 	}
@@ -82,11 +95,32 @@ func (b *predictBatcher) predict(ctx context.Context, m *krak.Machine, sc *krak.
 	}
 }
 
-// flush takes the queued jobs and dispatches them as one batch.
-func (b *predictBatcher) flush() {
-	b.mu.Lock()
+// take removes and returns the queued jobs, stops the current window
+// timer, and advances the generation so a timer already past Stop's reach
+// (mid-fire, blocked on the mutex) recognizes itself as stale. Callers
+// must hold b.mu.
+func (b *predictBatcher) take() []*predictJob {
 	jobs := b.queue
 	b.queue = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.gen++
+	return jobs
+}
+
+// flush takes the queued jobs and dispatches them as one batch. It is the
+// window timer's target: gen identifies the queue generation the timer
+// was armed for, and a stale timer — its batch already dispatched early —
+// finds the generation advanced and does nothing.
+func (b *predictBatcher) flush(gen uint64) {
+	b.mu.Lock()
+	if gen != b.gen {
+		b.mu.Unlock()
+		return
+	}
+	jobs := b.take()
 	b.mu.Unlock()
 	if len(jobs) > 0 {
 		b.dispatch(jobs)

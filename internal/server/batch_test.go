@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"krak/internal/engine"
+	"krak/pkg/krak"
+)
+
+// TestEarlyDispatchRetiresWindowTimer is the regression test for the
+// stale-window-timer bug: a batch that fills to maxBatch dispatches
+// early, and the window timer its first job armed used to survive and
+// fire mid-window into the *next* batch, flushing it prematurely and
+// silently shrinking coalescing under sustained bursts.
+//
+// The schedule (window W = 1.5s, all margins >= 300ms so CI scheduling
+// jitter cannot flip the outcome):
+//
+//	t0          : maxBatch jobs arrive, dispatch early; the stale timer
+//	              (pre-fix) is still armed to fire at ~t0+W
+//	t0+0.7s     : job A opens batch 2; its own timer fires at ~t0+2.2s
+//	t0+1.5s     : the stale timer fires — pre-fix it flushes batch 2 with
+//	              only job A inside, half-way through its window
+//	t0+1.8s     : job B arrives — joins batch 2 (fix) or opens a third
+//	              batch (bug)
+//
+// The assertion is on the batches/batched_jobs counters, not wall time:
+// with the timer retired, batch 2 keeps its full window and carries both
+// jobs, so exactly 2 batches dispatch; pre-fix the premature flush splits
+// A and B into separate batches, making 3.
+func TestEarlyDispatchRetiresWindowTimer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second batch-window schedule")
+	}
+	m, err := krak.NewMachine(krak.WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := krak.NewScenario(krak.WithDeck("small"), krak.WithPE(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the machine's artifact caches so batch dispatches are fast and
+	// the schedule's margins hold.
+	sess, err := krak.NewSession(m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Predict(); err != nil {
+		t.Fatal(err)
+	}
+
+	const window = 1500 * time.Millisecond
+	b := newPredictBatcher(engine.New(4), window)
+	ctx := context.Background()
+	predict := func() {
+		if _, err := b.predict(ctx, m, sc); err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Fill one batch to the brim: it must dispatch early, well inside the
+	// window.
+	var burst sync.WaitGroup
+	for i := 0; i < maxBatch; i++ {
+		burst.Add(1)
+		go func() {
+			defer burst.Done()
+			predict()
+		}()
+	}
+	burst.Wait()
+	if got := b.batches.Load(); got != 1 {
+		t.Fatalf("burst dispatched %d batches, want 1 early dispatch", got)
+	}
+	b.mu.Lock()
+	timerRetired := b.timer == nil
+	b.mu.Unlock()
+	if !timerRetired {
+		t.Fatal("early dispatch left the window timer armed")
+	}
+
+	var tail sync.WaitGroup
+	tail.Add(2)
+	time.Sleep(700 * time.Millisecond)
+	go func() { defer tail.Done(); predict() }() // job A opens batch 2
+	time.Sleep(1100 * time.Millisecond)          // the stale timer would have fired by now
+	go func() { defer tail.Done(); predict() }() // job B must still join batch 2
+	tail.Wait()
+
+	batches, jobs := b.batches.Load(), b.jobs.Load()
+	if batches != 2 || jobs != maxBatch+2 {
+		t.Fatalf("batches=%d jobs=%d, want 2 batches carrying %d jobs (a third batch means the stale timer flushed batch 2 mid-window)",
+			batches, jobs, maxBatch+2)
+	}
+}

@@ -13,7 +13,10 @@ import (
 // measure the serving layer, not the one-time machine warm-up.
 func benchServer(b *testing.B, cacheSize int) *Server {
 	b.Helper()
-	s := New(Config{Quick: true, CacheSize: cacheSize})
+	s, err := New(Config{Quick: true, CacheSize: cacheSize})
+	if err != nil {
+		b.Fatal(err)
+	}
 	w := benchPost(s, `{"deck":"small","pes":2,"model":"mesh-specific"}`)
 	if w.Code != http.StatusOK {
 		b.Fatalf("warm-up failed: %d %s", w.Code, w.Body.String())

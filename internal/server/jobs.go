@@ -1,0 +1,302 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"maps"
+	"net/http"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"krak/pkg/krak"
+)
+
+// The async job API: POST /v1/jobs accepts the same SweepRequest body as
+// POST /v1/sweep but returns immediately with a job id; the sweep runs in
+// the background under the heavy-class limiter (through Wait, so a burst
+// of jobs queues behind interactive heavy traffic instead of being
+// refused — the bounded job store is their queue). Clients poll
+// GET /v1/jobs/{id} for status and fetch GET /v1/jobs/{id}/result once
+// done; the stored result bytes are exactly what the synchronous endpoint
+// would have written, so a client can switch between the two without
+// reparsing anything differently.
+//
+// The store is bounded two ways: a hard cap on live jobs (submissions
+// past it are refused with 429 until some finish and age out) and a TTL
+// after completion, so an abandoned job's result does not pin its memory
+// forever. Eviction prefers the oldest finished job.
+
+// job is one background sweep: its terminal state is published by closing
+// done after body/errMsg are set, so readers never see a half-written
+// result.
+type job struct {
+	id      string
+	created time.Time
+
+	done    chan struct{}
+	running atomic.Bool
+
+	// body and errMsg are written once, before done closes.
+	body   []byte
+	errMsg error
+
+	// doneAt is set when the job finishes (guarded by the store's mu).
+	doneAt time.Time
+}
+
+// status reports the job's lifecycle state.
+func (j *job) status() string {
+	select {
+	case <-j.done:
+		if j.errMsg != nil {
+			return krak.JobFailed
+		}
+		return krak.JobDone
+	default:
+		if j.running.Load() {
+			return krak.JobRunning
+		}
+		return krak.JobPending
+	}
+}
+
+// jobStore is the bounded registry of background jobs.
+type jobStore struct {
+	max int
+	ttl time.Duration
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  uint64
+
+	evicted atomic.Int64
+}
+
+const (
+	defaultMaxJobs = 256
+	defaultJobTTL  = 15 * time.Minute
+)
+
+func newJobStore(maxJobs int, ttl time.Duration) *jobStore {
+	if maxJobs <= 0 {
+		maxJobs = defaultMaxJobs
+	}
+	if ttl <= 0 {
+		ttl = defaultJobTTL
+	}
+	return &jobStore{max: maxJobs, ttl: ttl, jobs: make(map[string]*job)}
+}
+
+// errJobsFull is the 429 a full job store returns.
+var errJobsFull = errors.New("server: job store full; poll or retry later")
+
+// add registers a new job, evicting expired finished jobs first and, if
+// the store is still at the cap, the oldest finished job. With the store
+// full of unfinished jobs the submission is refused — the bound is the
+// point.
+func (st *jobStore) add(now time.Time) (*job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.expireLocked(now)
+	if len(st.jobs) >= st.max {
+		// Sorted id order makes the doneAt tie-break deterministic.
+		var oldest *job
+		for _, id := range slices.Sorted(maps.Keys(st.jobs)) {
+			j := st.jobs[id]
+			if j.doneAt.IsZero() {
+				continue
+			}
+			if oldest == nil || j.doneAt.Before(oldest.doneAt) {
+				oldest = j
+			}
+		}
+		if oldest == nil {
+			return nil, errJobsFull
+		}
+		delete(st.jobs, oldest.id)
+		st.evicted.Add(1)
+	}
+	st.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", st.seq),
+		created: now,
+		done:    make(chan struct{}),
+	}
+	st.jobs[j.id] = j
+	return j, nil
+}
+
+// expireLocked removes finished jobs past their TTL. Callers hold st.mu.
+func (st *jobStore) expireLocked(now time.Time) {
+	for _, id := range slices.Sorted(maps.Keys(st.jobs)) {
+		j := st.jobs[id]
+		if !j.doneAt.IsZero() && now.Sub(j.doneAt) >= st.ttl {
+			delete(st.jobs, id)
+			st.evicted.Add(1)
+		}
+	}
+}
+
+// get looks a job up, expiring stale ones on the way (polling is the
+// only traffic the store sees between submissions, so lookups double as
+// the TTL sweep).
+func (st *jobStore) get(id string, now time.Time) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.expireLocked(now)
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// finish publishes the job's terminal state.
+func (st *jobStore) finish(j *job, body []byte, err error, now time.Time) {
+	st.mu.Lock()
+	j.doneAt = now
+	st.mu.Unlock()
+	j.body = body
+	j.errMsg = err
+	close(j.done)
+}
+
+// len reports how many jobs are live (any state).
+func (st *jobStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.jobs)
+}
+
+// countByStatus tallies live jobs per lifecycle state.
+func (st *jobStore) countByStatus() map[string]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := map[string]int{krak.JobPending: 0, krak.JobRunning: 0, krak.JobDone: 0, krak.JobFailed: 0}
+	for _, id := range slices.Sorted(maps.Keys(st.jobs)) {
+		out[st.jobs[id].status()]++
+	}
+	return out
+}
+
+// errUnknownJob is the 404 for expired or never-issued job ids.
+var errUnknownJob = errors.New("server: unknown job id (expired or never issued)")
+
+// errJobNotDone is the 409 for fetching a result that is not ready.
+var errJobNotDone = errors.New("server: job not finished; poll /v1/jobs/{id}")
+
+func jobStatusBody(j *job) krak.JobStatus {
+	s := krak.JobStatus{Schema: krak.JobSchema, ID: j.id, Status: j.status()}
+	if s.Status == krak.JobFailed {
+		s.Error = j.errMsg.Error()
+	}
+	return s
+}
+
+// handleJobSubmit accepts a SweepRequest, validates it synchronously (bad
+// requests fail at submission, not in a job the client must poll to see
+// die), and runs the sweep in the background.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req krak.SweepRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req = req.Normalized()
+	ms, err := s.resolveSpec(req.Machine)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	req.Machine = ms
+	op, grid, err := req.Grid()
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	m, err := s.machineFor(req.Machine)
+	if err != nil {
+		writeError(w, s.machineStatus(err), err)
+		return
+	}
+	j, err := s.jobs.add(time.Now())
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	go s.runJob(j, m, op, grid)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	body, err := renderJSON(jobStatusBody(j))
+	if err != nil {
+		return
+	}
+	w.Write(body)
+}
+
+// runJob executes one background sweep under the heavy-class limiter.
+// The job deliberately outlives the submitting request — that is the
+// point of the API — so it runs on a background context.
+func (s *Server) runJob(j *job, m *krak.Machine, op krak.SweepOp, grid []*krak.Scenario) {
+	//krakcheck:ignore ctxflow deliberate detach: a submitted job outlives the submitting request by design
+	ctx := context.Background()
+	finish := func(body []byte, err error) {
+		s.jobs.finish(j, body, err, time.Now())
+	}
+	if err := s.admission.heavy.Wait(ctx); err != nil {
+		finish(nil, err)
+		return
+	}
+	defer s.admission.heavy.Release()
+	j.running.Store(true)
+	base, err := krak.NewScenario()
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	sess, err := krak.NewSession(m, base)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	sr, err := sess.Sweep(ctx, op, grid)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	body, err := renderJSON(sr)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	finish(body, nil)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"), time.Now())
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	writeJSON(w, jobStatusBody(j))
+}
+
+// handleJobResult serves a finished job's stored sweep bytes verbatim —
+// byte-identical to the synchronous endpoint's response.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"), time.Now())
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	switch j.status() {
+	case krak.JobDone:
+		writeBody(w, j.body)
+	case krak.JobFailed:
+		writeError(w, errorStatus(j.errMsg), j.errMsg)
+	default:
+		writeError(w, http.StatusConflict, errJobNotDone)
+	}
+}

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"fmt"
+	"maps"
+	"math"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the server's observability core: a small Prometheus
+// text-exposition registry built on the stdlib. Every number the server
+// reports — request counters, latency histograms, cache and admission
+// gauges — lives in one registry; GET /metrics renders all of it, and
+// GET /healthz is a thin JSON view over the same families (it reads
+// registry totals, never private fields), so the two can never disagree.
+
+// sample is one rendered metric line minus the family name: an optional
+// name suffix (histograms emit _bucket/_sum/_count series), a rendered
+// label set ("" or `{k="v",...}`), and the value.
+type sample struct {
+	suffix string
+	labels string
+	value  float64
+}
+
+// family is one metric family: HELP/TYPE header plus a collect hook that
+// snapshots its samples at scrape time. Families registered with gauge
+// and counter helpers close over the server's live atomics, which is what
+// keeps /metrics and /healthz views of the same number identical.
+type family struct {
+	name, help, typ string
+	collect         func() []sample
+}
+
+// registry holds the server's metric families in registration order, plus
+// the per-endpoint request stats the instrumentation middleware feeds.
+type registry struct {
+	families []*family
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+// latencyBuckets are the request-latency histogram bounds (seconds):
+// cached reads land in the sub-millisecond buckets, model computes in the
+// middle, cold calibrations and sweeps at the top.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointStats accumulates one endpoint's request counts (by status
+// code) and latency histogram. Buckets store per-bucket counts and are
+// cumulated at render time.
+type endpointStats struct {
+	codes   map[int]*atomic.Int64 // guarded by registry.mu
+	buckets []atomic.Int64        // len(latencyBuckets); overflow only in count
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the latency sum
+}
+
+func newRegistry() *registry {
+	return &registry{endpoints: make(map[string]*endpointStats)}
+}
+
+// addFamily registers a family; render order is registration order.
+func (reg *registry) addFamily(name, typ, help string, collect func() []sample) {
+	reg.families = append(reg.families, &family{name: name, help: help, typ: typ, collect: collect})
+}
+
+// addScalar registers a single-series family (no labels) whose value is
+// read at scrape time.
+func (reg *registry) addScalar(name, typ, help string, fn func() float64) {
+	reg.addFamily(name, typ, help, func() []sample {
+		return []sample{{value: fn()}}
+	})
+}
+
+// addLabeled registers a family with a fixed set of labeled series, each
+// read at scrape time. The series render in the order given.
+func (reg *registry) addLabeled(name, typ, help string, series map[string]func() float64, label string) {
+	reg.addFamily(name, typ, help, func() []sample {
+		out := make([]sample, 0, len(series))
+		for _, k := range slices.Sorted(maps.Keys(series)) {
+			out = append(out, sample{labels: labelSet(label, k), value: series[k]()})
+		}
+		return out
+	})
+}
+
+// labelSet renders a one-label set.
+func labelSet(k, v string) string {
+	return "{" + k + "=" + strconv.Quote(v) + "}"
+}
+
+// endpoint returns (creating on first use) the stats bucket for an
+// endpoint label. The instrumentation middleware calls it once per route
+// at registration, so scrape-time families see a stable set.
+func (reg *registry) endpoint(name string) *endpointStats {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	st, ok := reg.endpoints[name]
+	if !ok {
+		st = &endpointStats{
+			codes:   make(map[int]*atomic.Int64),
+			buckets: make([]atomic.Int64, len(latencyBuckets)),
+		}
+		reg.endpoints[name] = st
+	}
+	return st
+}
+
+// observe records one finished request on the endpoint: its status code
+// and wall latency.
+func (reg *registry) observe(st *endpointStats, code int, seconds float64) {
+	reg.mu.Lock()
+	c, ok := st.codes[code]
+	if !ok {
+		c = &atomic.Int64{}
+		st.codes[code] = c
+	}
+	reg.mu.Unlock()
+	c.Add(1)
+	for i, b := range latencyBuckets {
+		if seconds <= b {
+			st.buckets[i].Add(1)
+			break
+		}
+	}
+	st.count.Add(1)
+	for {
+		old := st.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if st.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// collectRequests snapshots krak_http_requests_total: one series per
+// (endpoint, code), both dimensions sorted so scrape output is stable.
+func (reg *registry) collectRequests() []sample {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	var out []sample
+	for _, ep := range slices.Sorted(maps.Keys(reg.endpoints)) {
+		st := reg.endpoints[ep]
+		for _, code := range slices.Sorted(maps.Keys(st.codes)) {
+			out = append(out, sample{
+				labels: fmt.Sprintf(`{endpoint=%q,code="%d"}`, ep, code),
+				value:  float64(st.codes[code].Load()),
+			})
+		}
+	}
+	return out
+}
+
+// collectLatency snapshots krak_http_request_seconds: per endpoint, the
+// cumulative _bucket series (ending at le="+Inf"), then _sum and _count.
+func (reg *registry) collectLatency() []sample {
+	reg.mu.Lock()
+	endpoints := slices.Sorted(maps.Keys(reg.endpoints))
+	stats := make([]*endpointStats, len(endpoints))
+	for i, ep := range endpoints {
+		stats[i] = reg.endpoints[ep]
+	}
+	reg.mu.Unlock()
+	var out []sample
+	for i, ep := range endpoints {
+		st := stats[i]
+		var cum int64
+		for j, b := range latencyBuckets {
+			cum += st.buckets[j].Load()
+			out = append(out, sample{
+				suffix: "_bucket",
+				labels: fmt.Sprintf(`{endpoint=%q,le=%q}`, ep, formatFloat(b)),
+				value:  float64(cum),
+			})
+		}
+		count := st.count.Load()
+		out = append(out,
+			sample{suffix: "_bucket", labels: fmt.Sprintf(`{endpoint=%q,le="+Inf"}`, ep), value: float64(count)},
+			sample{suffix: "_sum", labels: labelSet("endpoint", ep), value: math.Float64frombits(st.sumBits.Load())},
+			sample{suffix: "_count", labels: labelSet("endpoint", ep), value: float64(count)},
+		)
+	}
+	return out
+}
+
+// formatFloat renders a metric value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// render writes the whole registry in Prometheus text exposition format.
+func (reg *registry) render() []byte {
+	var b strings.Builder
+	for _, f := range reg.families {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, s := range f.collect() {
+			fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.suffix, s.labels, formatFloat(s.value))
+		}
+	}
+	return []byte(b.String())
+}
+
+// total returns the sum of a family's base series (suffix-less samples) —
+// the accessor /healthz reads the registry through.
+func (reg *registry) total(name string) float64 {
+	for _, f := range reg.families {
+		if f.name != name {
+			continue
+		}
+		var sum float64
+		for _, s := range f.collect() {
+			if s.suffix == "" {
+				sum += s.value
+			}
+		}
+		return sum
+	}
+	return 0
+}
+
+// statusRecorder captures the status code a handler writes so the
+// instrumentation middleware can label its counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route with metrics collection: every request through
+// it lands in krak_http_requests_total{endpoint,code} and the endpoint's
+// latency histogram. The endpoint label is the route pattern, not the raw
+// URL, so path parameters cannot explode the label space.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	st := s.metrics.endpoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.observe(st, rec.code, time.Since(start).Seconds())
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.metrics.render())
+}

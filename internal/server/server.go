@@ -8,10 +8,22 @@
 //	POST /v1/sweep              concurrent (deck, PE) grid (uncached: timings vary)
 //	POST /v1/compare            one scenario across many machines (cached)
 //	POST /v1/calibrate          fit machine parameters to timings (cached)
+//	POST /v1/jobs               submit a sweep as a background job
+//	GET  /v1/jobs/{id}          poll a job's status
+//	GET  /v1/jobs/{id}/result   fetch a finished job's sweep result
 //	GET  /v1/experiments        the paper-artifact registry
 //	GET  /v1/experiments/{id}   one regenerated table/figure (cached)
 //	GET  /v1/machines           the interconnect presets
-//	GET  /healthz               liveness + serving counters
+//	GET  /healthz               liveness + serving counters (view over /metrics)
+//	GET  /metrics               Prometheus text-format serving metrics
+//
+// Every /v1 route runs behind admission control: endpoint classes (light
+// cached reads vs heavy pool-occupying computes) each have a concurrency
+// limit and a bounded wait queue, and callers past both get 429 with a
+// Retry-After instead of unbounded queueing (see admission.go). With a
+// cache directory configured (krak serve -cache-dir), partition vectors
+// and rendered response bodies also persist to a content-addressed disk
+// tier that survives restarts and can be shared between replicas.
 //
 // Machines are identified by the content fingerprint of their normalized
 // MachineSpec, so file-defined and calibrated machines (custom networks,
@@ -46,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"krak/internal/artifacts"
 	"krak/internal/engine"
 	"krak/pkg/krak"
 )
@@ -67,6 +80,35 @@ type Config struct {
 	// BatchWindow is how long the first predict in a batch waits for
 	// company before the batch dispatches; 0 means 500µs.
 	BatchWindow time.Duration
+
+	// CacheDir, when set, roots the content-addressed disk cache under
+	// the artifact store: partition vectors and rendered response bodies
+	// persist there, survive restarts, and may be shared between replicas
+	// pointed at the same directory. "" disables persistence.
+	CacheDir string
+
+	// LightLimit/LightQueue size the light admission class (cached reads:
+	// predict, simulate, experiments, machines, job polls): concurrent
+	// in-flight requests and the bounded wait queue behind them. 0 means
+	// the defaults (256/1024); a negative limit disables the class's
+	// limiter; a negative queue means no queue (refuse once slots fill).
+	LightLimit int
+	LightQueue int
+
+	// HeavyLimit/HeavyQueue size the heavy admission class (sweep,
+	// compare, calibrate — endpoints that occupy the worker pool).
+	// 0 means the defaults (4/16); negatives as for the light class.
+	HeavyLimit int
+	HeavyQueue int
+
+	// RequestTimeout bounds how long a heavy request may run once
+	// admitted; 0 means no timeout.
+	RequestTimeout time.Duration
+
+	// MaxJobs caps live background jobs (0 means 256); JobTTL is how long
+	// a finished job's result stays fetchable (0 means 15m).
+	MaxJobs int
+	JobTTL  time.Duration
 }
 
 // maxMachines caps how many distinct machine configurations the server
@@ -100,15 +142,27 @@ type Server struct {
 	// duplicate in-flight requests.
 	responses *engine.LRU[string, []byte]
 
-	batch *predictBatcher
-	pool  *engine.Pool
+	// disk is the persistent tier for rendered response bodies (nil
+	// without a cache directory); the artifact store holds its own
+	// instance over the same directory for partition vectors.
+	disk *artifacts.DiskCache
 
-	requests  atomic.Int64
-	cacheHits atomic.Int64
+	batch     *predictBatcher
+	pool      *engine.Pool
+	metrics   *registry
+	admission *admission
+	jobs      *jobStore
+
+	requests         atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	cacheCoalesced   atomic.Int64
+	machinesRejected atomic.Int64
 }
 
-// New builds a Server from the config.
-func New(cfg Config) *Server {
+// New builds a Server from the config. It fails only when a configured
+// cache directory cannot be created.
+func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 1024
 	}
@@ -116,26 +170,151 @@ func New(cfg Config) *Server {
 		cfg.BatchWindow = 500 * time.Microsecond
 	}
 	pool := engine.New(cfg.Parallel)
+	sa := krak.NewSharedArtifacts()
+	var disk *artifacts.DiskCache
+	if cfg.CacheDir != "" {
+		var err error
+		if sa, err = krak.NewSharedArtifactsAt(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+		if disk, err = artifacts.OpenDiskCache(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:       cfg,
 		start:     time.Now(),
 		responses: engine.NewLRU[string, []byte](cfg.CacheSize),
 		batch:     newPredictBatcher(pool, cfg.BatchWindow),
 		pool:      pool,
-		artifacts: krak.NewSharedArtifacts(),
+		artifacts: sa,
+		disk:      disk,
+		metrics:   newRegistry(),
+		admission: newAdmission(cfg),
+		jobs:      newJobStore(cfg.MaxJobs, cfg.JobTTL),
 	}
+	s.registerMetrics()
 	mux := http.NewServeMux()
+	// Observability endpoints are neither instrumented nor admission
+	// controlled: they must answer exactly when the server is saturated,
+	// and a scrape counting itself would make the counters self-exciting.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/machines", s.handleMachines)
-	mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/compare", s.handleCompare)
-	mux.HandleFunc("POST /v1/calibrate", s.handleCalibrate)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
-	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	route := func(pattern, endpoint, class string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(endpoint, s.withAdmission(class, h)))
+	}
+	route("GET /v1/machines", "/v1/machines", classLight, s.handleMachines)
+	route("POST /v1/predict", "/v1/predict", classLight, s.handlePredict)
+	route("POST /v1/simulate", "/v1/simulate", classLight, s.handleSimulate)
+	route("POST /v1/sweep", "/v1/sweep", classHeavy, s.handleSweep)
+	route("POST /v1/compare", "/v1/compare", classHeavy, s.handleCompare)
+	route("POST /v1/calibrate", "/v1/calibrate", classHeavy, s.handleCalibrate)
+	route("POST /v1/jobs", "/v1/jobs", classLight, s.handleJobSubmit)
+	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", classLight, s.handleJobStatus)
+	route("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", classLight, s.handleJobResult)
+	route("GET /v1/experiments", "/v1/experiments", classLight, s.handleExperimentList)
+	route("GET /v1/experiments/{id}", "/v1/experiments/{id}", classLight, s.handleExperiment)
 	s.mux = mux
-	return s
+	return s, nil
+}
+
+// registerMetrics declares every metric family /metrics exposes. All of
+// them read the server's live counters at scrape time — the same sources
+// /healthz renders — so the two views cannot drift.
+func (s *Server) registerMetrics() {
+	reg := s.metrics
+	counter := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	reg.addFamily("krak_http_requests_total", "counter",
+		"HTTP requests served, by route pattern and status code.", reg.collectRequests)
+	reg.addFamily("krak_http_request_seconds", "histogram",
+		"HTTP request latency in seconds, by route pattern.", reg.collectLatency)
+	reg.addScalar("krak_requests_total", "counter",
+		"All HTTP requests received, matched or not.", counter(&s.requests))
+	reg.addScalar("krak_uptime_seconds", "gauge",
+		"Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
+	reg.addScalar("krak_parallelism", "gauge",
+		"Worker-pool width machines and batches dispatch on.",
+		func() float64 { return float64(s.pool.Workers()) })
+	reg.addScalar("krak_response_cache_hits_total", "counter",
+		"Responses served from the rendered-response LRU.", counter(&s.cacheHits))
+	reg.addScalar("krak_response_cache_misses_total", "counter",
+		"Responses computed because the LRU had no entry.", counter(&s.cacheMisses))
+	reg.addScalar("krak_response_cache_coalesced_total", "counter",
+		"Responses served by joining another request's in-flight fill.", counter(&s.cacheCoalesced))
+	reg.addScalar("krak_response_cache_entries", "gauge",
+		"Rendered responses currently cached.", func() float64 { return float64(s.responses.Len()) })
+	reg.addScalar("krak_response_cache_capacity", "gauge",
+		"Rendered-response LRU capacity.", func() float64 { return float64(s.responses.Cap()) })
+	reg.addScalar("krak_machines", "gauge",
+		"Distinct machine configurations memoized.", func() float64 { return float64(s.machines.Len()) })
+	reg.addScalar("krak_machines_rejected_total", "counter",
+		"Requests refused because the machine cap was reached.", counter(&s.machinesRejected))
+	reg.addScalar("krak_batches_total", "counter",
+		"Predict micro-batches dispatched.", counter(&s.batch.batches))
+	reg.addScalar("krak_batched_jobs_total", "counter",
+		"Predict jobs carried by micro-batches.", counter(&s.batch.jobs))
+	limGauge := func(fn func(*engine.Limiter) int) map[string]func() float64 {
+		return map[string]func() float64{
+			classLight: func() float64 { return float64(fn(s.admission.light)) },
+			classHeavy: func() float64 { return float64(fn(s.admission.heavy)) },
+		}
+	}
+	reg.addLabeled("krak_admission_inflight", "gauge",
+		"Admitted requests currently in flight, by endpoint class.",
+		limGauge((*engine.Limiter).InFlight), "class")
+	reg.addLabeled("krak_admission_waiting", "gauge",
+		"Requests waiting in the bounded admission queue, by endpoint class.",
+		limGauge((*engine.Limiter).Waiting), "class")
+	reg.addLabeled("krak_admission_rejected_total", "counter",
+		"Requests refused by admission control, by endpoint class.",
+		map[string]func() float64{
+			classLight: counter(&s.admission.rejectedLight),
+			classHeavy: counter(&s.admission.rejectedHeavy),
+		}, "class")
+	jobGauge := func(state string) func() float64 {
+		return func() float64 { return float64(s.jobs.countByStatus()[state]) }
+	}
+	reg.addLabeled("krak_jobs", "gauge",
+		"Live background jobs, by lifecycle state.",
+		map[string]func() float64{
+			krak.JobPending: jobGauge(krak.JobPending),
+			krak.JobRunning: jobGauge(krak.JobRunning),
+			krak.JobDone:    jobGauge(krak.JobDone),
+			krak.JobFailed:  jobGauge(krak.JobFailed),
+		}, "state")
+	reg.addScalar("krak_jobs_evicted_total", "counter",
+		"Finished jobs evicted by TTL or the store cap.", counter(&s.jobs.evicted))
+	reg.addScalar("krak_partition_computes_total", "counter",
+		"Partition vectors computed from scratch (neither memory nor disk had them).",
+		func() float64 { return float64(s.artifacts.Stats().PartitionComputes) })
+	diskSeries := func(art func(krak.ArtifactStats) int64, resp func(artifacts.DiskStats) int64) map[string]func() float64 {
+		return map[string]func() float64{
+			"artifact": func() float64 { return float64(art(s.artifacts.Stats())) },
+			"response": func() float64 { return float64(resp(s.disk.Stats())) },
+		}
+	}
+	reg.addLabeled("krak_disk_cache_hits_total", "counter",
+		"Disk-cache entries that verified and were served, by tier.",
+		diskSeries(
+			func(a krak.ArtifactStats) int64 { return a.DiskHits },
+			func(d artifacts.DiskStats) int64 { return d.Hits }), "tier")
+	reg.addLabeled("krak_disk_cache_misses_total", "counter",
+		"Disk-cache lookups that missed, by tier.",
+		diskSeries(
+			func(a krak.ArtifactStats) int64 { return a.DiskMisses },
+			func(d artifacts.DiskStats) int64 { return d.Misses }), "tier")
+	reg.addLabeled("krak_disk_cache_writes_total", "counter",
+		"Disk-cache entries written, by tier.",
+		diskSeries(
+			func(a krak.ArtifactStats) int64 { return a.DiskWrites },
+			func(d artifacts.DiskStats) int64 { return d.Writes }), "tier")
+	reg.addLabeled("krak_disk_cache_corrupt_total", "counter",
+		"Disk-cache entries discarded as corrupt or version-skewed, by tier.",
+		diskSeries(
+			func(a krak.ArtifactStats) int64 { return a.DiskCorrupt },
+			func(d artifacts.DiskStats) int64 { return d.Corrupt }), "tier")
 }
 
 // ServeHTTP implements http.Handler.
@@ -254,26 +433,42 @@ func (s *Server) machineFor(ms krak.MachineSpec) (*krak.Machine, error) {
 	if _, err := build(); err != nil {
 		return nil, err
 	}
-	key := ms.Fingerprint()
-	if s.machines.Len() >= maxMachines && !s.machines.Has(key) {
-		// Soft cap: known configurations keep serving.
+	// The cap check and the insert happen atomically inside GetBounded: a
+	// separate Len/Has probe followed by Get would let a burst of novel
+	// specs race past the cap, each seeing Len just under the limit before
+	// any of them inserted. Known configurations keep serving past the cap
+	// (soft cap) — GetBounded admits existing keys unconditionally.
+	m, err := s.machines.GetBounded(ms.Fingerprint(), maxMachines, build)
+	if errors.Is(err, engine.ErrCacheFull) {
+		s.machinesRejected.Add(1)
 		return nil, errTooManyMachines
 	}
-	return s.machines.Get(key, build)
+	return m, err
 }
 
+// handleHealthz renders the liveness view: every number is read back out
+// of the metrics registry (by family name, summing labeled series), so
+// /healthz and /metrics are two renderings of the same counters and the
+// agreement test can diff them.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	total := func(name string) int64 { return int64(s.metrics.total(name)) }
 	writeJSON(w, map[string]any{
-		"status":       "ok",
-		"uptime_s":     time.Since(s.start).Seconds(),
-		"requests":     s.requests.Load(),
-		"cache_hits":   s.cacheHits.Load(),
-		"cache_len":    s.responses.Len(),
-		"cache_cap":    s.responses.Cap(),
-		"machines":     s.machines.Len(),
-		"batches":      s.batch.batches.Load(),
-		"batched_jobs": s.batch.jobs.Load(),
-		"parallelism":  s.pool.Workers(),
+		"status":             "ok",
+		"uptime_s":           time.Since(s.start).Seconds(),
+		"requests":           total("krak_requests_total"),
+		"cache_hits":         total("krak_response_cache_hits_total"),
+		"cache_misses":       total("krak_response_cache_misses_total"),
+		"cache_coalesced":    total("krak_response_cache_coalesced_total"),
+		"cache_len":          total("krak_response_cache_entries"),
+		"cache_cap":          total("krak_response_cache_capacity"),
+		"machines":           total("krak_machines"),
+		"batches":            total("krak_batches_total"),
+		"batched_jobs":       total("krak_batched_jobs_total"),
+		"parallelism":        total("krak_parallelism"),
+		"admission_rejected": total("krak_admission_rejected_total"),
+		"jobs":               total("krak_jobs"),
+		"partition_computes": total("krak_partition_computes_total"),
+		"disk_hits":          total("krak_disk_cache_hits_total"),
 	})
 }
 
@@ -281,20 +476,41 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, krak.ListMachines())
 }
 
+// responseKind namespaces rendered response bodies in the disk tier.
+const responseKind = "response"
+
 // cachedBody looks key up in the rendered-response LRU, filling it on a
-// miss; duplicate misses in flight share the one computation.
+// miss; duplicate misses in flight share the one computation. With a
+// cache directory configured, a miss consults the disk tier before
+// computing, and fresh computations are persisted — so a restarted
+// server serves previously rendered responses byte-identically without
+// recomputing them. The LRU reports each request's outcome distinctly:
+// a hit found the entry filled, a coalesced request joined another
+// request's in-flight fill (it waited, it did not compute, and it was
+// not served from the finished cache), and a miss ran the fill itself.
 func (s *Server) cachedBody(w http.ResponseWriter, key string, fill func() ([]byte, error)) {
-	hit := true
-	body, err := s.responses.Do(key, func() ([]byte, error) {
-		hit = false
-		return fill()
+	body, outcome, err := s.responses.Do(key, func() ([]byte, error) {
+		if b, ok := s.disk.Get(responseKind, key); ok {
+			return b, nil
+		}
+		b, err := fill()
+		if err != nil {
+			return nil, err
+		}
+		s.disk.Put(responseKind, key, b)
+		return b, nil
 	})
 	if err != nil {
 		writeError(w, errorStatus(err), err)
 		return
 	}
-	if hit {
+	switch outcome {
+	case engine.LRUHit:
 		s.cacheHits.Add(1)
+	case engine.LRUCoalesced:
+		s.cacheCoalesced.Add(1)
+	default:
+		s.cacheMisses.Add(1)
 	}
 	writeBody(w, body)
 }

@@ -21,7 +21,11 @@ func quickServer(opts ...func(*Config)) *Server {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // post sends a JSON body through the handler and returns the recorder.

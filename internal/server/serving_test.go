@@ -1,0 +1,434 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"krak/pkg/krak"
+)
+
+// metricValue extracts one sample's value from a Prometheus text scrape.
+// series is the full sample name including any label set, e.g.
+// `krak_http_requests_total{endpoint="/v1/predict",code="200"}`.
+func metricValue(t *testing.T, scrape, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(scrape, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("unparseable sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in scrape:\n%s", series, scrape)
+	return 0
+}
+
+// TestMetricsEndpoint drives a request sequence and checks the scrape
+// reports it: per-endpoint request counters with status codes, latency
+// histogram series, and the cache outcome counters.
+func TestMetricsEndpoint(t *testing.T) {
+	s := quickServer()
+	for i := 0; i < 2; i++ { // miss then hit
+		if w := post(t, s, "/v1/predict", `{"deck":"small","pes":4}`); w.Code != http.StatusOK {
+			t.Fatalf("predict %d: %d %s", i, w.Code, w.Body.String())
+		}
+	}
+	if w := post(t, s, "/v1/predict", `{"deck":"tiny"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad deck: %d", w.Code)
+	}
+
+	w := get(t, s, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("scrape status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	scrape := w.Body.String()
+	if got := metricValue(t, scrape, `krak_http_requests_total{endpoint="/v1/predict",code="200"}`); got != 2 {
+		t.Errorf("predict 200s = %g, want 2", got)
+	}
+	if got := metricValue(t, scrape, `krak_http_requests_total{endpoint="/v1/predict",code="400"}`); got != 1 {
+		t.Errorf("predict 400s = %g, want 1", got)
+	}
+	if got := metricValue(t, scrape, "krak_response_cache_hits_total"); got != 1 {
+		t.Errorf("cache hits = %g, want 1", got)
+	}
+	if got := metricValue(t, scrape, "krak_response_cache_misses_total"); got != 1 {
+		t.Errorf("cache misses = %g, want 1", got)
+	}
+	if got := metricValue(t, scrape, `krak_http_request_seconds_count{endpoint="/v1/predict"}`); got != 3 {
+		t.Errorf("latency count = %g, want 3", got)
+	}
+	if got := metricValue(t, scrape, `krak_http_request_seconds_bucket{endpoint="/v1/predict",le="+Inf"}`); got != 3 {
+		t.Errorf("latency +Inf bucket = %g, want 3", got)
+	}
+	// The HELP/TYPE headers must be present for every family the scrape
+	// mentions (spot-check the histogram, the trickiest type).
+	if !strings.Contains(scrape, "# TYPE krak_http_request_seconds histogram") {
+		t.Error("histogram TYPE header missing")
+	}
+}
+
+// TestHealthzAgreesWithMetrics is the two-views-one-registry test: every
+// counter /healthz reports must equal what /metrics exposes for the
+// corresponding family at the same moment.
+func TestHealthzAgreesWithMetrics(t *testing.T) {
+	s := quickServer()
+	post(t, s, "/v1/predict", `{"deck":"small","pes":4}`)
+	post(t, s, "/v1/predict", `{"deck":"small","pes":4}`)
+	post(t, s, "/v1/simulate", `{"deck":"small","pes":4,"iterations":1}`)
+
+	var h map[string]any
+	if err := json.Unmarshal(get(t, s, "/healthz").Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	scrape := get(t, s, "/metrics").Body.String()
+	pairs := map[string]string{
+		"cache_hits":         "krak_response_cache_hits_total",
+		"cache_misses":       "krak_response_cache_misses_total",
+		"cache_coalesced":    "krak_response_cache_coalesced_total",
+		"cache_len":          "krak_response_cache_entries",
+		"cache_cap":          "krak_response_cache_capacity",
+		"machines":           "krak_machines",
+		"batches":            "krak_batches_total",
+		"batched_jobs":       "krak_batched_jobs_total",
+		"parallelism":        "krak_parallelism",
+		"partition_computes": "krak_partition_computes_total",
+	}
+	for field, family := range pairs {
+		want, ok := h[field].(float64)
+		if !ok {
+			t.Errorf("healthz missing %q", field)
+			continue
+		}
+		if got := metricValue(t, scrape, family); got != want {
+			t.Errorf("healthz %s = %g but metrics %s = %g", field, want, family, got)
+		}
+	}
+}
+
+// TestCacheOutcomeCountsPinned is the regression test for the cache-hit
+// miscount bug: requests coalesced onto an in-flight fill used to count
+// as cache hits, inflating the hit rate under bursts. The three outcomes
+// must be reported distinctly: the burst below is 1 miss plus n-1
+// coalesced (zero hits — nothing was in the finished cache), and only
+// the repeat afterwards is a hit.
+func TestCacheOutcomeCountsPinned(t *testing.T) {
+	// A wide batch window keeps the first request's fill in flight while
+	// the rest of the burst arrives.
+	s := quickServer(func(c *Config) { c.BatchWindow = 300 * time.Millisecond })
+	const n = 6
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = post(t, s, "/v1/predict", `{"deck":"small","pes":4}`).Code
+		}(i)
+		if i == 0 {
+			// Give the first request time to open the fill, so the rest
+			// deterministically coalesce instead of racing it.
+			time.Sleep(60 * time.Millisecond)
+		}
+	}
+	wg.Wait()
+	for i, code := range results {
+		if code != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, code)
+		}
+	}
+	if m, c, h := s.cacheMisses.Load(), s.cacheCoalesced.Load(), s.cacheHits.Load(); m != 1 || c != n-1 || h != 0 {
+		t.Fatalf("burst counts: misses=%d coalesced=%d hits=%d, want 1/%d/0", m, c, h, n-1)
+	}
+	post(t, s, "/v1/predict", `{"deck":"small","pes":4}`)
+	if m, c, h := s.cacheMisses.Load(), s.cacheCoalesced.Load(), s.cacheHits.Load(); m != 1 || c != n-1 || h != 1 {
+		t.Fatalf("after repeat: misses=%d coalesced=%d hits=%d, want 1/%d/1", m, c, h, n-1)
+	}
+}
+
+// TestAdmissionSaturated429 saturates the heavy class deterministically
+// (the test holds its one slot directly; no queue) and checks the next
+// sweep is refused with 429 and a Retry-After, then served once the slot
+// frees.
+func TestAdmissionSaturated429(t *testing.T) {
+	s := quickServer(func(c *Config) {
+		c.HeavyLimit = 1
+		c.HeavyQueue = -1
+	})
+	if err := s.admission.heavy.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	w := post(t, s, "/v1/sweep", `{"decks":["small"],"pes":[4]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated sweep: status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var env map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env["error"] == "" {
+		t.Errorf("missing error envelope: %s", w.Body.String())
+	}
+	if got := s.admission.rejectedHeavy.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	// Light traffic is not collateral damage: cached reads still serve.
+	if w := post(t, s, "/v1/predict", `{"deck":"small","pes":4}`); w.Code != http.StatusOK {
+		t.Fatalf("light request during heavy saturation: %d", w.Code)
+	}
+	s.admission.heavy.Release()
+	if w := post(t, s, "/v1/sweep", `{"decks":["small"],"pes":[4]}`); w.Code != http.StatusOK {
+		t.Fatalf("sweep after release: status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestJobsLifecycle is the async-jobs integration test: submit a sweep as
+// a job, poll it to completion, and check the stored result is
+// byte-identical to the synchronous endpoint's response modulo the
+// timing fields that legitimately vary run to run.
+func TestJobsLifecycle(t *testing.T) {
+	s := quickServer()
+	const body = `{"op":"predict","decks":["small"],"pes":[4,8]}`
+
+	sync := post(t, s, "/v1/sweep", body)
+	if sync.Code != http.StatusOK {
+		t.Fatalf("sync sweep: %d %s", sync.Code, sync.Body.String())
+	}
+
+	sub := post(t, s, "/v1/jobs", body)
+	if sub.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202: %s", sub.Code, sub.Body.String())
+	}
+	var js krak.JobStatus
+	if err := json.Unmarshal(sub.Body.Bytes(), &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Schema != krak.JobSchema || js.ID == "" {
+		t.Fatalf("submit body: %+v", js)
+	}
+	if loc := sub.Header().Get("Location"); loc != "/v1/jobs/"+js.ID {
+		t.Errorf("Location = %q", loc)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		w := get(t, s, "/v1/jobs/"+js.ID)
+		if w.Code != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", w.Code, w.Body.String())
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &js); err != nil {
+			t.Fatal(err)
+		}
+		if js.Status == krak.JobDone {
+			break
+		}
+		if js.Status == krak.JobFailed {
+			t.Fatalf("job failed: %s", js.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", js.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res := get(t, s, "/v1/jobs/"+js.ID+"/result")
+	if res.Code != http.StatusOK {
+		t.Fatalf("result: status %d: %s", res.Code, res.Body.String())
+	}
+	if got, want := stripSweepTimings(t, res.Body.Bytes()), stripSweepTimings(t, sync.Body.Bytes()); got != want {
+		t.Errorf("job result differs from sync sweep beyond timing fields:\n--- job ---\n%s\n--- sync ---\n%s", got, want)
+	}
+
+	if w := get(t, s, "/v1/jobs/job-999999"); w.Code != http.StatusNotFound {
+		t.Errorf("unknown job status: %d, want 404", w.Code)
+	}
+	if w := get(t, s, "/v1/jobs/job-999999/result"); w.Code != http.StatusNotFound {
+		t.Errorf("unknown job result: %d, want 404", w.Code)
+	}
+}
+
+// stripSweepTimings decodes a SweepResult and re-renders it with every
+// run-varying timing field zeroed, leaving only the deterministic bytes.
+func stripSweepTimings(t *testing.T, b []byte) string {
+	t.Helper()
+	var sr krak.SweepResult
+	if err := json.Unmarshal(b, &sr); err != nil {
+		t.Fatalf("decoding sweep: %v", err)
+	}
+	sr.WallSeconds, sr.WorkSeconds = 0, 0
+	for i := range sr.Points {
+		sr.Points[i].Seconds = 0
+	}
+	out, err := json.MarshalIndent(&sr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestJobSubmitValidatesSynchronously checks a bad request dies at
+// submission with 400, not inside a job the client would have to poll.
+func TestJobSubmitValidatesSynchronously(t *testing.T) {
+	s := quickServer()
+	if w := post(t, s, "/v1/jobs", `{"decks":["not-a-deck"]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", w.Code, w.Body.String())
+	}
+	if n := s.jobs.len(); n != 0 {
+		t.Fatalf("invalid submission created %d jobs", n)
+	}
+}
+
+// TestJobStoreBounds drives the store's cap and TTL directly with
+// crafted clocks: expired finished jobs age out, the oldest finished job
+// is evicted at the cap, and a store full of unfinished jobs refuses.
+func TestJobStoreBounds(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	st := newJobStore(2, time.Minute)
+
+	a, err := st.add(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.add(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full of unfinished jobs: the bound refuses.
+	if _, err := st.add(t0); !errors.Is(err, errJobsFull) {
+		t.Fatalf("add at cap: %v, want errJobsFull", err)
+	}
+	// Finish a; at the cap the oldest finished job is evicted to admit.
+	st.finish(a, []byte("{}"), nil, t0.Add(time.Second))
+	c, err := st.add(t0.Add(2 * time.Second))
+	if err != nil {
+		t.Fatalf("add after finish: %v", err)
+	}
+	if _, ok := st.get(a.id, t0.Add(2*time.Second)); ok {
+		t.Error("evicted job still resolvable")
+	}
+	if st.evicted.Load() != 1 {
+		t.Errorf("evicted = %d, want 1", st.evicted.Load())
+	}
+	// TTL: a finished job expires out of lookups after a minute.
+	st.finish(c, []byte("{}"), nil, t0.Add(3*time.Second))
+	if _, ok := st.get(c.id, t0.Add(10*time.Second)); !ok {
+		t.Fatal("fresh finished job not resolvable")
+	}
+	if _, ok := st.get(c.id, t0.Add(2*time.Minute)); ok {
+		t.Error("expired job still resolvable")
+	}
+	// b is still live (never finished): unaffected by the sweep above.
+	if _, ok := st.get(b.id, t0.Add(2*time.Minute)); !ok {
+		t.Error("unfinished job was evicted")
+	}
+}
+
+// TestRestartServesFromDiskWithoutRecompute is the persistence
+// acceptance test: a server over a warm cache directory — a "restart" —
+// serves a previously computed /v1/predict byte-identically without
+// recomputing partitions, verified through the metrics counters.
+func TestRestartServesFromDiskWithoutRecompute(t *testing.T) {
+	dir := t.TempDir()
+	s1 := quickServer(func(c *Config) { c.CacheDir = dir })
+	// The mesh-specific model partitions the deck (the default
+	// general-homo model is partition-free), which is what gives this
+	// test its partition counters.
+	const body = `{"deck":"small","pes":8,"model":"mesh-specific"}`
+	first := post(t, s1, "/v1/predict", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("cold predict: %d %s", first.Code, first.Body.String())
+	}
+	scrape1 := get(t, s1, "/metrics").Body.String()
+	if got := metricValue(t, scrape1, "krak_partition_computes_total"); got == 0 {
+		t.Fatal("cold server computed no partitions — test premise broken")
+	}
+	if got := metricValue(t, scrape1, `krak_disk_cache_writes_total{tier="response"}`); got == 0 {
+		t.Fatal("cold server persisted no responses")
+	}
+
+	// "Kill" s1 (drop it) and start a fresh server over the same dir:
+	// fresh in-memory caches, warm disk.
+	s2 := quickServer(func(c *Config) { c.CacheDir = dir })
+	second := post(t, s2, "/v1/predict", body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("restart predict: %d %s", second.Code, second.Body.String())
+	}
+	if second.Body.String() != first.Body.String() {
+		t.Error("restarted server's response is not byte-identical")
+	}
+	scrape2 := get(t, s2, "/metrics").Body.String()
+	if got := metricValue(t, scrape2, "krak_partition_computes_total"); got != 0 {
+		t.Errorf("restarted server computed %g partitions, want 0", got)
+	}
+	if got := metricValue(t, scrape2, `krak_disk_cache_hits_total{tier="response"}`); got != 1 {
+		t.Errorf("response disk hits = %g, want 1", got)
+	}
+
+	// The vector tier stands on its own: a sweep (responses never cached)
+	// over the same scenario must pull its partition from disk too.
+	if w := post(t, s2, "/v1/sweep", `{"decks":["small"],"pes":[8],"model":"mesh-specific"}`); w.Code != http.StatusOK {
+		t.Fatalf("restart sweep: %d %s", w.Code, w.Body.String())
+	}
+	scrape3 := get(t, s2, "/metrics").Body.String()
+	if got := metricValue(t, scrape3, "krak_partition_computes_total"); got != 0 {
+		t.Errorf("sweep after restart computed %g partitions, want 0 (vector tier should have served)", got)
+	}
+	if got := metricValue(t, scrape3, `krak_disk_cache_hits_total{tier="artifact"}`); got == 0 {
+		t.Error("sweep after restart never hit the artifact disk tier")
+	}
+}
+
+// TestMachineCapConcurrent is the regression test for the machine-cap
+// TOCTOU: 128 distinct specs racing through machineFor used to each see
+// Len() below the cap before any inserted, overshooting it. The atomic
+// GetBounded admits exactly maxMachines and refuses the rest.
+func TestMachineCapConcurrent(t *testing.T) {
+	s := quickServer()
+	const n = 2 * maxMachines
+	var wg sync.WaitGroup
+	var admitted, refused, unexpected sync.Map
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			ms := krak.MachineSpec{Seed: uint64(i + 1), Quick: true}.Normalized()
+			switch _, err := s.machineFor(ms); {
+			case err == nil:
+				admitted.Store(i, true)
+			case errors.Is(err, errTooManyMachines):
+				refused.Store(i, true)
+			default:
+				unexpected.Store(i, err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	unexpected.Range(func(k, v any) bool {
+		t.Errorf("spec %v: unexpected error %v", k, v)
+		return true
+	})
+	count := func(m *sync.Map) (n int) {
+		m.Range(func(any, any) bool { n++; return true })
+		return n
+	}
+	if got := s.machines.Len(); got > maxMachines {
+		t.Fatalf("machine cache overshot the cap: %d > %d", got, maxMachines)
+	}
+	if a, r := count(&admitted), count(&refused); a != maxMachines || r != n-maxMachines {
+		t.Errorf("admitted=%d refused=%d, want %d/%d", a, r, maxMachines, n-maxMachines)
+	}
+}
