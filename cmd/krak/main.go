@@ -12,7 +12,8 @@
 //	krak sweep       -op predict -deck medium -pe 32,64,128,256 -parallel 8 [--json]
 //	krak experiments -list | -run table6 | -write EXPERIMENTS.md -parallel 8 [--json]
 //	krak compare     -scenario medium -machines machines/ -baseline es45-qsnet [--json]
-//	krak calibrate   -data runs.txt -folds 5 | -synth -deck small -pe 2,4,8 [--json]
+//	krak calibrate   -data runs.txt -model auto -folds 5 [-append fresh.txt] | -synth -deck small -pe 2,4,8 [--json]
+//	krak machines    [-forms] [--json]
 //	krak serve       -addr :8080 -parallel 8 -cache-size 1024 [-quick]
 //
 // sweep and experiments fan their work out over the machine's worker pool
@@ -42,6 +43,14 @@
 // measure -> calibrate -> predict loop. The machines/ directory at the
 // repo root is a checked-in catalog of such files spanning machine
 // generations; `krak compare -machines machines/` sweeps them all.
+//
+// calibrate fits one of several timing-model forms (-model: linear,
+// loglog, interact, piecewise, or auto to cross-validate the whole zoo
+// and report a selection scoreboard; `krak machines -forms` lists them).
+// -append folds a fresh measurement file into the -data fit with a
+// drift check against the base fit's stderr band — the same check
+// `krak serve` runs on POST /v1/calibrate/append for registered
+// machines.
 //
 // Every subcommand also accepts -cpuprofile FILE and -memprofile FILE,
 // writing pprof profiles of the invocation (see `make profile` for the
@@ -83,6 +92,8 @@ func main() {
 		err = runCompare(os.Args[2:])
 	case "calibrate":
 		err = runCalibrate(os.Args[2:])
+	case "machines":
+		err = runMachines(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -111,6 +122,7 @@ subcommands:
   experiments  regenerate the paper's tables and figures
   compare      sweep one scenario across a catalog of machines
   calibrate    fit machine parameters to measured timings
+  machines     list machine presets, fingerprints, and model forms
   serve        run the batched HTTP prediction service
 
 Run "krak <subcommand> -h" for the subcommand's flags. All subcommands

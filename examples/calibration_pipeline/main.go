@@ -1,0 +1,127 @@
+// Calibration pipeline: the full model-zoo lifecycle through the
+// façade. A "lab" machine defined by a machine file generates
+// measurements; auto-selection cross-validates every candidate timing
+// form and reports the scoreboard; fresh measurements from the same
+// machine append quietly; and measurements taken after a simulated
+// network downgrade trip the drift check — the moment a stored
+// calibration stops describing the hardware it was fitted on.
+//
+// Run from anywhere:
+//
+//	go run ./examples/calibration_pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"krak/pkg/krak"
+)
+
+const labMachine = `machine lab
+network lab-net
+segment 0 20 200
+compute-scale 1.7
+quick
+`
+
+// downgraded is the same lab after a switch failure forced traffic onto
+// a fallback network: 10x the latency, a fifth of the bandwidth.
+const downgraded = `machine lab-degraded
+network fallback-net
+segment 0 200 40
+compute-scale 1.7
+quick
+`
+
+// measure generates a synthetic measurement dataset from a machine file:
+// noiseless analytic-model runs over a (deck, PEs) grid.
+func measure(machineFile string, decks []string, pes []int) (*krak.Dataset, error) {
+	m, err := krak.LoadMachine([]byte(machineFile))
+	if err != nil {
+		return nil, err
+	}
+	sc, err := krak.NewScenario(krak.WithModel(krak.GeneralHeterogeneous))
+	if err != nil {
+		return nil, err
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		return nil, err
+	}
+	return s.SynthesizeDataset(context.Background(), krak.SweepPredict, decks, pes)
+}
+
+func main() {
+	ctx := context.Background()
+
+	base, err := measure(labMachine, []string{"small", "figure2"}, []int{2, 4, 8, 16, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	freshSame, err := measure(labMachine, []string{"small"}, []int{3, 6, 12, 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	freshMoved, err := measure(downgraded, []string{"small"}, []int{3, 6, 12, 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Calibrate against the stock baseline with automatic form selection:
+	// every registered form is scored on the same seeded folds.
+	m, err := krak.NewMachine(krak.WithQuick())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := krak.NewScenario(krak.WithModel(krak.GeneralHeterogeneous))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := krak.NewSession(m, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cr, err := s.Calibrate(ctx, base, krak.CalibrateOptions{Form: krak.FormAuto, Folds: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Model zoo (%d candidate forms; see `krak machines -forms`) ==\n", len(krak.ModelForms()))
+	for _, row := range cr.Scoreboard {
+		note := ""
+		if row.Selected {
+			note = "  <- selected"
+		}
+		if row.Error != "" {
+			note = "  (" + row.Error + ")"
+		}
+		fmt.Printf("  %-10s cv-rmse %8.4g s%s\n", row.Form, row.CVRMSESeconds, note)
+	}
+	fmt.Printf("winner: %s, fingerprint %s\n\n", cr.Form, cr.FittedFingerprint)
+
+	// Append fresh measurements from the same machine: the merged refit's
+	// drift check stays inside the stored fit's error band.
+	same, err := s.CalibrateAppend(ctx, base, freshSame, krak.CalibrateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Append: %d fresh runs from the same lab ==\n", same.Drift.FreshObservations)
+	fmt.Printf("  rel RMS %.3g vs band %.3g -> flagged=%v\n\n",
+		same.Drift.FreshRelRMS, same.Drift.Band, same.Drift.Flagged)
+
+	// Append measurements taken after the network downgrade: the fresh
+	// residuals leave the band and the drift flag trips.
+	moved, err := s.CalibrateAppend(ctx, base, freshMoved, krak.CalibrateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Append: %d runs after the network downgrade ==\n", moved.Drift.FreshObservations)
+	fmt.Printf("  rel RMS %.3g vs band %.3g -> flagged=%v\n",
+		moved.Drift.FreshRelRMS, moved.Drift.Band, moved.Drift.Flagged)
+	if !moved.Drift.Flagged || same.Drift.Flagged {
+		log.Fatal("drift detection gave the wrong verdicts")
+	}
+	fmt.Println("\nServed, the same lifecycle is POST /v1/machines/{fp} to register,")
+	fmt.Println("POST /v1/calibrate/append to extend, GET /v1/machines/{fp} for history.")
+}

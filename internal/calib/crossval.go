@@ -1,12 +1,5 @@
 package calib
 
-import (
-	"fmt"
-	"math"
-
-	"krak/internal/stats"
-)
-
 // CVStats reports a k-fold cross-validation of the fitted model: each
 // fold is held out once, the model is fitted on the rest, and the held-out
 // observations are scored against the fold's predictions.
@@ -29,65 +22,9 @@ type CVStats struct {
 // linear timing model over the aligned times and features: observations
 // are shuffled by a deterministic stream of the seed, split into k
 // near-equal folds, and each fold is predicted by a model fitted on the
-// other k-1. Requires 2 <= k <= len(times).
+// other k-1. Requires 2 <= k <= len(times). It is crossValidateWith
+// specialized to the linear form; every other form goes through
+// SelectModel's scoreboard.
 func CrossValidate(times []float64, feats []Features, k int, seed uint64) (*CVStats, error) {
-	n := len(times)
-	if len(feats) != n {
-		return nil, fmt.Errorf("calib: %d times vs %d feature rows", n, len(feats))
-	}
-	if k < 2 || k > n {
-		return nil, fmt.Errorf("calib: %d folds for %d observations (want 2 <= k <= n)", k, n)
-	}
-
-	// Deterministic Fisher-Yates shuffle of the observation order.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	rng := stats.Derive(seed, 0xf01d5)
-	for i := n - 1; i > 0; i-- {
-		j := int(rng.Next() % uint64(i+1))
-		order[i], order[j] = order[j], order[i]
-	}
-
-	cv := &CVStats{Folds: k}
-	var sse float64
-	scored := 0
-	for fold := 0; fold < k; fold++ {
-		// order[i] is held out when i ≡ fold (mod k): near-equal folds
-		// without materializing index sets.
-		var trT []float64
-		var trF []Features
-		var teIdx []int
-		for i, idx := range order {
-			if i%k == fold {
-				teIdx = append(teIdx, idx)
-			} else {
-				trT = append(trT, times[idx])
-				trF = append(trF, feats[idx])
-			}
-		}
-		fr, err := Fit(trT, trF)
-		if err != nil {
-			return nil, fmt.Errorf("calib: fold %d: %w", fold, err)
-		}
-		for _, idx := range teIdx {
-			pred := fr.Params.Predict(feats[idx])
-			e := times[idx] - pred
-			sse += e * e
-			if times[idx] != 0 {
-				ape := math.Abs(e) / times[idx]
-				cv.MAPE += ape
-				if ape > cv.MaxAPE {
-					cv.MaxAPE = ape
-				}
-			}
-			scored++
-		}
-	}
-	if scored > 0 {
-		cv.RMSE = math.Sqrt(sse / float64(scored))
-		cv.MAPE /= float64(scored)
-	}
-	return cv, nil
+	return crossValidateWith(times, feats, k, seed, linearForm{}.Fit)
 }

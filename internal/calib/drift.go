@@ -1,0 +1,89 @@
+package calib
+
+import "math"
+
+// Drift detection: when fresh measurements arrive for a machine that
+// already has a stored fit, their residuals under that fit are compared
+// against the fit's own stderr band. A healthy machine's new runs
+// scatter inside the band; a machine that changed (an upgraded
+// interconnect, a different compute node, OMI4papps' generational drift)
+// pushes the fresh residuals far outside it. The comparison is on
+// *relative* residuals (residual over observed seconds): observation
+// times span orders of magnitude, so an absolute band would be set
+// entirely by the slowest points and a fresh batch of large runs would
+// flag on scale alone.
+
+// driftBandSigmas is how many residual standard errors wide the
+// acceptance band is — the usual 3-sigma rule.
+const driftBandSigmas = 3
+
+// driftRelFloor keeps the band meaningful for numerically-perfect base
+// fits: a noiseless synthetic fit has SigmaRel at machine epsilon, and
+// without a floor any fresh observation would flag on rounding noise.
+const driftRelFloor = 1e-6
+
+// Drift reports a fresh-data residual check against a stored fit.
+type Drift struct {
+	// Flagged is true when the fresh relative residuals left the band.
+	Flagged bool
+
+	// FreshN counts the fresh observations checked.
+	FreshN int
+
+	// FreshRMSE is the RMS absolute residual of the fresh observations
+	// under the stored fit, in seconds (reported for context; the flag
+	// statistic is FreshRelRMS).
+	FreshRMSE float64
+
+	// FreshRelRMS is the RMS relative residual of the fresh observations
+	// under the stored fit — the statistic compared against Band.
+	FreshRelRMS float64
+
+	// Band is the acceptance threshold on FreshRelRMS: driftBandSigmas
+	// times the stored fit's (floored) relative residual stderr.
+	Band float64
+
+	// Sigma is the stored fit's relative residual stderr (FormFit's
+	// SigmaRel) the band is built from.
+	Sigma float64
+}
+
+// DetectDrift scores fresh observations against a stored fit: the RMS
+// relative residual of the fresh data under the stored predictor,
+// compared to a band of driftBandSigmas relative residual standard
+// errors (with a floor so noiseless base fits do not flag on rounding
+// noise).
+func DetectDrift(ff *FormFit, times []float64, feats []Features) Drift {
+	d := Drift{FreshN: len(times), Sigma: ff.SigmaRel}
+	d.Band = driftBandSigmas * math.Max(ff.SigmaRel, driftRelFloor)
+	if len(times) == 0 {
+		return d
+	}
+	var sse, sseRel float64
+	relScored := 0
+	blewUp := false
+	for i, f := range feats {
+		e := times[i] - ff.Predict(f)
+		// A stored fit that predicts a non-finite time for a fresh point
+		// (the power law extrapolating through exp) cannot explain the
+		// point at all — that is drift by definition. Flag it, but keep
+		// the non-finite residual out of the statistics so the report
+		// stays JSON-representable.
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			blewUp = true
+			continue
+		}
+		sse += e * e
+		if times[i] != 0 {
+			r := e / times[i]
+			sseRel += r * r
+			relScored++
+		}
+	}
+	d.FreshRMSE = math.Sqrt(sse / float64(len(times)))
+	if relScored > 0 {
+		d.FreshRelRMS = math.Sqrt(sseRel / float64(relScored))
+	}
+	d.Flagged = blewUp || d.FreshRelRMS > d.Band
+	return d
+}

@@ -24,6 +24,15 @@ func FuzzParseDataset(f *testing.F) {
 		"obs\n",
 		strings.Repeat("obs small 2 0.5\n", 64),
 		"\x00\xff",
+		// A PE-doubling ladder across two decks: the shape whose message
+		// sizes spread enough for the piecewise form's breakpoint search.
+		"dataset piecewise\n" +
+			"obs small 2 0.055\nobs small 4 0.034\nobs small 8 0.022\nobs small 16 0.016\n" +
+			"obs figure2 2 0.21\nobs figure2 4 0.12\nobs figure2 8 0.08\nobs figure2 16 0.05\n" +
+			"obs figure2 32 0.035\nobs figure2 64 0.028\n",
+		// Repeated (deck, PEs) points: legal, and they pile observations
+		// onto one side of every breakpoint candidate.
+		"obs small 2 0.05\nobs small 2 0.051\nobs small 2 0.049\nobs small 4 0.03\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -43,6 +43,14 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"dataset":"obs small 2 0.05\nobs small 4 0.03\n","folds":2}`,
 		`{"synth":{"op":"predict","decks":["small"],"pes":[2,4]}}`,
 		`{"observations":[{"deck":"small","pes":2,"seconds":-1}]}`,
+		`{"dataset":"obs small 2 0.05\n","form":"piecewise","folds":3}`,
+		`{"dataset":"obs small 2 0.05\n","form":"no-such-form"}`,
+		`{"fingerprint":"abc123","dataset":"obs small 2 0.05\n","folds":2,"form":"auto"}`,
+		`{"fingerprint":"","observations":[{"deck":"small","pes":4,"seconds":0.1}],"form":"loglog"}`,
+		`{"fingerprint":"abc","dataset":"obs a 2 1\n","observations":[{"deck":"a","pes":2,"seconds":1}]}`,
+		`{"result":{"schema":"krak.calibration/v1","observations":2,"model":"general-homo","form":"linear","fitted_fingerprint":"abc"},"dataset":"obs small 2 0.05\n"}`,
+		`{"result":{"schema":"krak.wrong/v9"}}`,
+		`{"result":null}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -96,6 +104,30 @@ func FuzzDecodeRequest(f *testing.F) {
 			cr.Normalized()
 			cr.Scenario()
 			cr.Machine.Resolved()
+		}
+		var ar krak.AppendRequest
+		if decodeBytes(t, body, &ar) == nil {
+			ar.Normalized()
+			ar.Scenario()
+			// Fresh either parses into a bounded dataset or rejects with
+			// ErrCalibration; both-sources and no-source bodies must hit
+			// the exactly-one rule, not a panic.
+			if ds, err := ar.Fresh(); err == nil && (ds == nil || len(ds.Observations) == 0) {
+				t.Fatalf("append request accepted an empty fresh dataset: %+v", ar)
+			}
+			ar.Machine.Resolved()
+		}
+		var rr krak.RegisterMachineRequest
+		if decodeBytes(t, body, &rr) == nil && rr.Result != nil {
+			// Registered results are re-rendered into history bodies; the
+			// marshal round trip must never panic, and the schema stamp
+			// must survive it.
+			if b, err := rr.Result.MarshalJSON(); err == nil {
+				var back krak.CalibrationResult
+				if err := back.UnmarshalJSON(b); err != nil {
+					t.Fatalf("registered result does not round-trip: %v", err)
+				}
+			}
 		}
 	})
 }

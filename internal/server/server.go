@@ -8,12 +8,15 @@
 //	POST /v1/sweep              concurrent (deck, PE) grid (uncached: timings vary)
 //	POST /v1/compare            one scenario across many machines (cached)
 //	POST /v1/calibrate          fit machine parameters to timings (cached)
+//	POST /v1/calibrate/append   fold fresh timings into a registered machine (drift-checked)
 //	POST /v1/jobs               submit a sweep as a background job
 //	GET  /v1/jobs/{id}          poll a job's status
 //	GET  /v1/jobs/{id}/result   fetch a finished job's sweep result
 //	GET  /v1/experiments        the paper-artifact registry
 //	GET  /v1/experiments/{id}   one regenerated table/figure (cached)
 //	GET  /v1/machines           the interconnect presets
+//	GET  /v1/machines/{fp}      a registered machine's calibration history
+//	POST /v1/machines/{fp}      register a calibration under its fingerprint
 //	GET  /healthz               liveness + serving counters (view over /metrics)
 //	GET  /metrics               Prometheus text-format serving metrics
 //
@@ -153,11 +156,17 @@ type Server struct {
 	admission *admission
 	jobs      *jobStore
 
+	// machineReg is the versioned fingerprint → fitted-machine history
+	// store behind GET/POST /v1/machines/{fingerprint} and the append
+	// endpoint (see registry.go).
+	machineReg *machineRegistry
+
 	requests         atomic.Int64
 	cacheHits        atomic.Int64
 	cacheMisses      atomic.Int64
 	cacheCoalesced   atomic.Int64
 	machinesRejected atomic.Int64
+	driftFlagged     atomic.Int64
 }
 
 // New builds a Server from the config. It fails only when a configured
@@ -193,6 +202,7 @@ func New(cfg Config) (*Server, error) {
 		admission: newAdmission(cfg),
 		jobs:      newJobStore(cfg.MaxJobs, cfg.JobTTL),
 	}
+	s.machineReg = newMachineRegistry(disk)
 	s.registerMetrics()
 	mux := http.NewServeMux()
 	// Observability endpoints are neither instrumented nor admission
@@ -204,6 +214,9 @@ func New(cfg Config) (*Server, error) {
 		mux.HandleFunc(pattern, s.instrument(endpoint, s.withAdmission(class, h)))
 	}
 	route("GET /v1/machines", "/v1/machines", classLight, s.handleMachines)
+	route("GET /v1/machines/{fingerprint}", "/v1/machines/{fingerprint}", classLight, s.handleMachineHistory)
+	route("POST /v1/machines/{fingerprint}", "/v1/machines/{fingerprint}", classLight, s.handleMachineRegister)
+	route("POST /v1/calibrate/append", "/v1/calibrate/append", classHeavy, s.handleCalibrateAppend)
 	route("POST /v1/predict", "/v1/predict", classLight, s.handlePredict)
 	route("POST /v1/simulate", "/v1/simulate", classLight, s.handleSimulate)
 	route("POST /v1/sweep", "/v1/sweep", classHeavy, s.handleSweep)
@@ -286,6 +299,12 @@ func (s *Server) registerMetrics() {
 		}, "state")
 	reg.addScalar("krak_jobs_evicted_total", "counter",
 		"Finished jobs evicted by TTL or the store cap.", counter(&s.jobs.evicted))
+	reg.addScalar("krak_registered_machines", "gauge",
+		"Distinct machine fingerprints in the calibration registry.",
+		func() float64 { return float64(s.machineReg.len()) })
+	reg.addScalar("krak_calib_drift_flagged_total", "counter",
+		"Appended calibrations whose fresh residuals left the stored fit's stderr band.",
+		counter(&s.driftFlagged))
 	reg.addScalar("krak_partition_computes_total", "counter",
 		"Partition vectors computed from scratch (neither memory nor disk had them).",
 		func() float64 { return float64(s.artifacts.Stats().PartitionComputes) })
@@ -347,6 +366,10 @@ func errorStatus(err error) int {
 		// The machine cap can surface through cached fills (compare builds
 		// its machines inside one), not only through machineFor call sites.
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errRegistryFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errUnknownMachine):
+		return http.StatusNotFound
 	case errors.Is(err, krak.ErrUnknownExperiment):
 		return http.StatusNotFound
 	case errors.Is(err, krak.ErrUnknownDeck),
@@ -467,6 +490,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"parallelism":        total("krak_parallelism"),
 		"admission_rejected": total("krak_admission_rejected_total"),
 		"jobs":               total("krak_jobs"),
+		"registered":         total("krak_registered_machines"),
+		"drift_flagged":      total("krak_calib_drift_flagged_total"),
 		"partition_computes": total("krak_partition_computes_total"),
 		"disk_hits":          total("krak_disk_cache_hits_total"),
 	})
@@ -690,12 +715,127 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		//krakcheck:ignore ctxflow same deliberate detach as the Materialize call above
-		cr, err := sess.Calibrate(context.Background(), ds, krak.CalibrateOptions{Folds: req.Folds})
+		cr, err := sess.Calibrate(context.Background(), ds, krak.CalibrateOptions{Folds: req.Folds, Form: req.Form})
 		if err != nil {
 			return nil, err
 		}
 		return renderJSON(cr)
 	})
+}
+
+// handleMachineHistory serves a registered machine's calibration
+// history: the exact bytes stored at registration time, whether they
+// came from memory or (after a restart) the disk tier — no refitting.
+func (s *Server) handleMachineHistory(w http.ResponseWriter, r *http.Request) {
+	body, err := s.machineReg.history(r.PathValue("fingerprint"))
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeBody(w, body)
+}
+
+// handleMachineRegister records a calibration result as the
+// fingerprint's next version and returns the updated history. The
+// result must carry the fingerprint it is being registered under —
+// registration is claiming "this calibration described that machine".
+func (s *Server) handleMachineRegister(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	var req krak.RegisterMachineRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Result == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("register request carries no calibration result"))
+		return
+	}
+	if req.Result.FittedFingerprint != fp {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("result's fitted fingerprint %s does not match path fingerprint %s",
+				req.Result.FittedFingerprint, fp))
+		return
+	}
+	body, err := s.machineReg.register(fp, req.Result, req.Dataset)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeBody(w, body)
+}
+
+// handleCalibrateAppend folds fresh measurements into a registered
+// machine's stored dataset: the stored fit is checked for drift against
+// the fresh data, the merged dataset is refitted, and the refit is
+// registered as the fingerprint's next version. The response body is
+// byte-identical to `krak calibrate -data <stored> -append <fresh>
+// --json` for the same inputs. Appends mutate the registry, so they are
+// never response-cached.
+func (s *Server) handleCalibrateAppend(w http.ResponseWriter, r *http.Request) {
+	var req krak.AppendRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req = req.Normalized()
+	ms, err := s.resolveSpec(req.Machine)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	req.Machine = ms
+	sc, err := req.Scenario()
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	m, err := s.machineFor(req.Machine)
+	if err != nil {
+		writeError(w, s.machineStatus(err), err)
+		return
+	}
+	ver, err := s.machineReg.latest(req.Fingerprint)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	if ver.Dataset == "" {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("version %d of %s was registered without its dataset; appends need it to refit",
+				ver.Version, req.Fingerprint))
+		return
+	}
+	base, err := krak.ParseDataset([]byte(ver.Dataset))
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	fresh, err := req.Fresh()
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	sess, err := krak.NewSession(m, sc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	cr, err := sess.CalibrateAppend(r.Context(), base, fresh, krak.CalibrateOptions{Folds: req.Folds, Form: req.Form})
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	if cr.Drift != nil && cr.Drift.Flagged {
+		s.driftFlagged.Add(1)
+	}
+	merged := &krak.Dataset{Name: base.Name}
+	merged.Observations = append(merged.Observations, base.Observations...)
+	merged.Observations = append(merged.Observations, fresh.Observations...)
+	if _, err := s.machineReg.register(req.Fingerprint, cr, string(merged.Format())); err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, cr)
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {

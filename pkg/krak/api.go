@@ -412,6 +412,10 @@ type CalibrateRequest struct {
 	// Folds enables k-fold cross-validation when >= 2.
 	Folds int `json:"folds,omitempty"`
 
+	// Form selects the timing-model form (see CalibrateOptions.Form);
+	// empty means automatic selection.
+	Form string `json:"form,omitempty"`
+
 	// Model selects the feature model: general-homo (default) or
 	// general-het.
 	Model string `json:"model,omitempty"`
@@ -474,6 +478,126 @@ func (r CalibrateRequest) Materialize(ctx context.Context, s *Session) (*Dataset
 		}
 		return s.SynthesizeDataset(ctx, op, r.Synth.Decks, r.Synth.PEs)
 	}
+}
+
+// AppendRequest is the body of POST /v1/calibrate/append: fresh
+// measurements to fold into the dataset stored for a registered machine
+// (see Session.CalibrateAppend). Exactly one fresh source must be
+// given: Dataset text or Observations.
+type AppendRequest struct {
+	// Fingerprint addresses the registered machine whose stored dataset
+	// the fresh measurements extend.
+	Fingerprint string `json:"fingerprint"`
+
+	Dataset      string        `json:"dataset,omitempty"`
+	Observations []Observation `json:"observations,omitempty"`
+
+	// Folds enables k-fold cross-validation of the merged refit when
+	// >= 2.
+	Folds int `json:"folds,omitempty"`
+
+	// Form selects the timing-model form (see CalibrateOptions.Form);
+	// empty means automatic selection.
+	Form string `json:"form,omitempty"`
+
+	// Model selects the feature model: general-homo (default) or
+	// general-het.
+	Model string `json:"model,omitempty"`
+
+	Machine MachineSpec `json:"machine,omitempty"`
+}
+
+// Normalized returns the request with defaults filled in.
+func (r AppendRequest) Normalized() AppendRequest {
+	if r.Model == "" {
+		r.Model = "general-homo"
+	}
+	r.Machine = r.Machine.Normalized()
+	return r
+}
+
+// Scenario validates the request and builds the Scenario an appending
+// Session uses (the feature-model choice).
+func (r AppendRequest) Scenario() (*Scenario, error) {
+	r = r.Normalized()
+	model, err := ParseModel(r.Model)
+	if err != nil {
+		return nil, err
+	}
+	return NewScenario(WithModel(model))
+}
+
+// Fresh produces the request's fresh measurements: parsing Dataset text
+// or adopting Observations. Requests with zero or both sources return
+// ErrCalibration.
+func (r AppendRequest) Fresh() (*Dataset, error) {
+	switch {
+	case r.Dataset != "" && len(r.Observations) == 0:
+		return ParseDataset([]byte(r.Dataset))
+	case r.Dataset == "" && len(r.Observations) > 0:
+		return &Dataset{Name: "wire", Observations: r.Observations}, nil
+	}
+	return nil, fmt.Errorf("%w: exactly one of dataset or observations must be given", ErrCalibration)
+}
+
+// RegisterMachineRequest is the body of POST /v1/machines/{fingerprint}:
+// a calibration result to record as the fingerprint's next version,
+// together with the dataset text it was fitted on (kept so appends can
+// refit). The result's fitted fingerprint must match the path.
+type RegisterMachineRequest struct {
+	Result  *CalibrationResult `json:"result"`
+	Dataset string             `json:"dataset,omitempty"`
+}
+
+// MachineHistorySchema stamps machine-registry history payloads.
+const MachineHistorySchema = "krak.machines/v1"
+
+// MachineVersion is one registered calibration of a machine: a version
+// number counting up from 1, the dataset it was fitted on, and the full
+// calibration result.
+type MachineVersion struct {
+	Version int                `json:"version"`
+	Dataset string             `json:"dataset,omitempty"`
+	Result  *CalibrationResult `json:"result"`
+}
+
+// MachineHistory is the body of GET /v1/machines/{fingerprint}: the
+// registered calibration versions of one machine, oldest first.
+type MachineHistory struct {
+	Fingerprint string           `json:"fingerprint"`
+	Versions    []MachineVersion `json:"versions"`
+}
+
+// MarshalJSON renders the history for machine consumption, stamping the
+// schema identifier.
+func (mh *MachineHistory) MarshalJSON() ([]byte, error) {
+	type alias MachineHistory
+	b, err := json.Marshal(struct {
+		Schema string `json:"schema"`
+		*alias
+	}{Schema: MachineHistorySchema, alias: (*alias)(mh)})
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding machine history: %w", ErrSchema, err)
+	}
+	return b, nil
+}
+
+// UnmarshalJSON decodes a MachineHistory produced by MarshalJSON,
+// rejecting payloads whose schema stamp is not MachineHistorySchema
+// with ErrSchema.
+func (mh *MachineHistory) UnmarshalJSON(data []byte) error {
+	type alias MachineHistory
+	aux := struct {
+		Schema string `json:"schema"`
+		*alias
+	}{alias: (*alias)(mh)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return fmt.Errorf("%w: decoding machine history: %w", ErrSchema, err)
+	}
+	if aux.Schema != MachineHistorySchema {
+		return fmt.Errorf("%w: got %q, want %q", ErrSchema, aux.Schema, MachineHistorySchema)
+	}
+	return nil
 }
 
 // MachineInfo is one entry of GET /v1/machines: an interconnect preset

@@ -67,9 +67,82 @@ func (d *Dataset) Format() []byte {
 
 // CalibrateOptions tunes Session.Calibrate.
 type CalibrateOptions struct {
-	// Folds enables k-fold cross-validation of the fit when >= 2; 0
+	// Folds enables the k-fold cross-validation report when >= 2; 0
 	// disables it. Values outside [2, len(observations)] are rejected.
+	// Automatic form selection always cross-validates internally, using
+	// Folds when set and min(5, observations) otherwise.
 	Folds int
+
+	// Form selects the timing-model form: a ModelForms name ("linear",
+	// "loglog", "interact", "piecewise"), or FormAuto — the default,
+	// also spelled "" — to fit every candidate and pick the
+	// cross-validation winner with a parsimony tie-break.
+	Form string
+}
+
+// FormAuto is the CalibrateOptions.Form (and wire "form") value
+// requesting automatic model selection over the whole form zoo.
+const FormAuto = "auto"
+
+// FormInfo describes one candidate model form of the calibration zoo.
+type FormInfo struct {
+	Name        string `json:"name"`
+	Coeffs      int    `json:"coeffs"`
+	Description string `json:"description"`
+}
+
+// ModelForms lists the candidate model forms in registry (ascending
+// parsimony) order — the valid explicit CalibrateOptions.Form values.
+func ModelForms() []FormInfo {
+	var out []FormInfo
+	for _, f := range calib.Forms() {
+		out = append(out, FormInfo{Name: f.Name(), Coeffs: f.Coeffs(), Description: f.Describe()})
+	}
+	return out
+}
+
+// FormScore is one scoreboard row of an automatic model selection: how a
+// candidate form fitted and cross-validated on the dataset.
+type FormScore struct {
+	Form          string  `json:"form"`
+	Coeffs        int     `json:"coeffs"`
+	R2            float64 `json:"r2"`
+	RMSESeconds   float64 `json:"rmse_s"`
+	CVRMSESeconds float64 `json:"cv_rmse_s"`
+	CVMAPE        float64 `json:"cv_mape"`
+	Selected      bool    `json:"selected,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// DriftReport scores fresh measurements against the model fitted on the
+// stored observations alone (see Session.CalibrateAppend). The flag
+// statistic is relative — observation times span orders of magnitude,
+// so an absolute band would be set entirely by the slowest points.
+type DriftReport struct {
+	// Flagged is true when the fresh residuals left the band: the
+	// machine the fresh data came from no longer looks like the one the
+	// stored fit described.
+	Flagged bool `json:"flagged"`
+
+	// FreshObservations counts the appended measurements checked.
+	FreshObservations int `json:"fresh_observations"`
+
+	// FreshRMSESeconds is the fresh data's RMS absolute residual under
+	// the stored fit, for context; the flag statistic is FreshRelRMS.
+	FreshRMSESeconds float64 `json:"fresh_rmse_s"`
+
+	// FreshRelRMS is the fresh data's RMS relative residual — the
+	// statistic compared against Band.
+	FreshRelRMS float64 `json:"fresh_rel_rms"`
+
+	// Band is the acceptance threshold on FreshRelRMS: three relative
+	// residual standard errors of the stored fit (floored so noiseless
+	// fits do not flag on rounding noise).
+	Band float64 `json:"band_rel"`
+
+	// SigmaRel is the stored fit's relative residual stderr the band is
+	// built from.
+	SigmaRel float64 `json:"sigma_rel"`
 }
 
 // FitParams are fitted machine parameters (or their standard errors) in
@@ -113,27 +186,57 @@ type CalibrationPoint struct {
 // fitted machine as a MachineSpec ready for LoadMachine / -machine-file
 // / wire requests.
 type CalibrationResult struct {
-	Dataset      string   `json:"dataset,omitempty"`
-	Observations int      `json:"observations"`
-	Model        string   `json:"model"`
-	Terms        []string `json:"terms"`
+	Dataset      string `json:"dataset,omitempty"`
+	Observations int    `json:"observations"`
+	Model        string `json:"model"`
 
+	// Form is the fitted model form (a ModelForms name), Terms and
+	// Coeffs its aligned term names and fitted coefficients, and
+	// Breakpoint the piecewise form's bytes-per-message split (0 for
+	// every other form).
+	Form       string    `json:"form"`
+	Terms      []string  `json:"terms"`
+	Coeffs     []float64 `json:"coeffs"`
+	Breakpoint float64   `json:"breakpoint_bytes,omitempty"`
+
+	// Params and StdErr are the linear-equivalent machine parameters:
+	// for the linear form they are the fit itself; for richer forms they
+	// come from a side linear fit of the same data, keeping a
+	// machine-file interpretation available.
 	Params FitParams `json:"params"`
 	StdErr FitParams `json:"stderr"`
 
 	R2          float64 `json:"r2"`
 	RMSESeconds float64 `json:"rmse_s"`
 
+	// SigmaRel is the fit's degrees-of-freedom-corrected RMS relative
+	// residual — the stderr band drift detection checks appended
+	// measurements against.
+	SigmaRel float64 `json:"sigma_rel"`
+
+	// Scoreboard reports every candidate form's fit and CV scores when
+	// the form was selected automatically; nil for an explicit Form.
+	Scoreboard []FormScore `json:"scoreboard,omitempty"`
+
+	// Drift is set by Session.CalibrateAppend: how the appended
+	// measurements scored against the stored fit before the refit.
+	Drift *DriftReport `json:"drift,omitempty"`
+
 	CV *CVReport `json:"cv,omitempty"`
 
 	Points []CalibrationPoint `json:"points"`
 
-	// Fitted is the calibrated machine: a single-segment network at the
-	// fitted latency/bandwidth plus the fitted compute scale, carrying
-	// the calibrating machine's seed and quick mode. Parameters are
-	// clamped into the machine-file ranges (non-negative latency,
-	// positive scale).
+	// Fitted is the calibrated machine: a network at the fitted
+	// latency/bandwidth (two segments split at the breakpoint for the
+	// piecewise form, one segment otherwise) plus the fitted compute
+	// scale, carrying the calibrating machine's seed and quick mode.
+	// Parameters are clamped into the machine-file ranges (non-negative
+	// latency, positive scale).
 	Fitted MachineSpec `json:"fitted_machine"`
+
+	// FittedFingerprint is Fitted.Fingerprint(): the identity the
+	// machine registry stores calibration history under.
+	FittedFingerprint string `json:"fitted_fingerprint"`
 }
 
 // CalibrationSchema identifies the JSON layout CalibrationResult
@@ -180,7 +283,11 @@ func (cr *CalibrationResult) Render() string {
 	if cr.Dataset != "" {
 		fmt.Fprintf(&b, " (dataset %s)", cr.Dataset)
 	}
-	fmt.Fprintf(&b, " under the %s model\n\n", cr.Model)
+	fmt.Fprintf(&b, " under the %s model", cr.Model)
+	if cr.Form != "" {
+		fmt.Fprintf(&b, " (form %s)", cr.Form)
+	}
+	b.WriteString("\n\n")
 
 	bw := "inf"
 	if cr.Params.SecondsPerByte > 0 {
@@ -200,9 +307,49 @@ func (cr *CalibrationResult) Render() string {
 	b.WriteString(textplot.Table([]string{"Parameter", "Fitted", "Std err", "Note"}, rows))
 	fmt.Fprintf(&b, "\nFit (terms: %s): R^2 %.6f, RMSE %.4f ms\n",
 		strings.Join(cr.Terms, "+"), cr.R2, cr.RMSESeconds*1e3)
+	if cr.Form != "" && cr.Form != calib.FormLinear && len(cr.Coeffs) == len(cr.Terms) {
+		parts := make([]string, len(cr.Coeffs))
+		for i, c := range cr.Coeffs {
+			parts[i] = fmt.Sprintf("%s=%.4g", cr.Terms[i], c)
+		}
+		fmt.Fprintf(&b, "Form coefficients: %s\n", strings.Join(parts, " "))
+		if cr.Breakpoint > 0 {
+			fmt.Fprintf(&b, "Breakpoint: %.0f B/msg\n", cr.Breakpoint)
+		}
+	}
 	if cr.CV != nil {
 		fmt.Fprintf(&b, "Cross-validation (k=%d): RMSE %.4f ms, MAPE %s (max %s)\n",
 			cr.CV.Folds, cr.CV.RMSESeconds*1e3, stats.FormatPct(cr.CV.MAPE), stats.FormatPct(cr.CV.MaxAPE))
+	}
+	if len(cr.Scoreboard) > 0 {
+		b.WriteByte('\n')
+		var srows [][]string
+		for _, sc := range cr.Scoreboard {
+			note := ""
+			if sc.Selected {
+				note = "selected"
+			}
+			if sc.Error != "" {
+				note = sc.Error
+			}
+			srows = append(srows, []string{
+				sc.Form,
+				fmt.Sprintf("%d", sc.Coeffs),
+				fmt.Sprintf("%.4f", sc.CVRMSESeconds*1e3),
+				stats.FormatPct(sc.CVMAPE),
+				fmt.Sprintf("%.6f", sc.R2),
+				note,
+			})
+		}
+		b.WriteString(textplot.Table([]string{"Form", "Coeffs", "CV RMSE (ms)", "CV MAPE", "R^2", "Note"}, srows))
+	}
+	if cr.Drift != nil {
+		verdict := "within band"
+		if cr.Drift.Flagged {
+			verdict = "DRIFT FLAGGED"
+		}
+		fmt.Fprintf(&b, "\nDrift check: %d fresh observations, rel RMS %.3g vs band %.3g (sigma_rel %.3g): %s\n",
+			cr.Drift.FreshObservations, cr.Drift.FreshRelRMS, cr.Drift.Band, cr.Drift.SigmaRel, verdict)
 	}
 
 	b.WriteByte('\n')
@@ -310,6 +457,57 @@ func (s *Session) features(ctx context.Context, obs []Observation) ([]calib.Feat
 // datasets, unknown decks, mesh-specific sessions, bad fold counts, and
 // degenerate fits return ErrCalibration.
 func (s *Session) Calibrate(ctx context.Context, ds *Dataset, opt CalibrateOptions) (*CalibrationResult, error) {
+	cr, _, err := s.calibrate(ctx, ds, opt)
+	return cr, err
+}
+
+// CalibrateAppend folds fresh measurements into a stored dataset: the
+// stored observations are fitted alone, the fresh observations are
+// scored against that fit for drift (see DriftReport), and the merged
+// dataset is refitted to produce the returned result — which carries the
+// drift verdict. The check answers "does the new data still look like
+// the machine the old fit described?" before the refit absorbs it.
+func (s *Session) CalibrateAppend(ctx context.Context, base, fresh *Dataset, opt CalibrateOptions) (*CalibrationResult, error) {
+	freshTimes, err := datasetTimes(fresh)
+	if err != nil {
+		return nil, err
+	}
+	// The base fit is internal: folds are left to selection's default so
+	// a fold count sized for the merged dataset cannot over-split a
+	// small base; only the merged result reports CV.
+	baseOpt := opt
+	baseOpt.Folds = 0
+	_, baseFit, err := s.calibrate(ctx, base, baseOpt)
+	if err != nil {
+		return nil, err
+	}
+	freshFeats, err := s.features(ctx, fresh.Observations)
+	if err != nil {
+		return nil, err
+	}
+	d := calib.DetectDrift(baseFit, freshTimes, freshFeats)
+
+	merged := &Dataset{Name: base.Name}
+	merged.Observations = append(merged.Observations, base.Observations...)
+	merged.Observations = append(merged.Observations, fresh.Observations...)
+	cr, _, err := s.calibrate(ctx, merged, opt)
+	if err != nil {
+		return nil, err
+	}
+	cr.Drift = &DriftReport{
+		Flagged:           d.Flagged,
+		FreshObservations: d.FreshN,
+		FreshRMSESeconds:  d.FreshRMSE,
+		FreshRelRMS:       d.FreshRelRMS,
+		Band:              d.Band,
+		SigmaRel:          d.Sigma,
+	}
+	return cr, nil
+}
+
+// datasetTimes validates the dataset's shape and observation values and
+// extracts the observed times.
+func datasetTimes(ds *Dataset) ([]float64, error) {
 	if ds == nil || len(ds.Observations) == 0 {
 		return nil, fmt.Errorf("%w: empty dataset", ErrCalibration)
 	}
@@ -327,32 +525,109 @@ func (s *Session) Calibrate(ctx context.Context, ds *Dataset, opt CalibrateOptio
 		}
 		times[i] = o.Seconds
 	}
-	if opt.Folds != 0 && (opt.Folds < 2 || opt.Folds > len(ds.Observations)) {
-		return nil, fmt.Errorf("%w: %d folds for %d observations", ErrCalibration, opt.Folds, len(ds.Observations))
+	return times, nil
+}
+
+// fitForm fits one named form, wrapping calib errors as ErrCalibration.
+func fitForm(times []float64, feats []calib.Features, name string) (*calib.FormFit, error) {
+	form, err := calib.FormByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCalibration, err)
+	}
+	ff, err := form.Fit(times, feats)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCalibration, err)
+	}
+	return ff, nil
+}
+
+// calibrate is Calibrate plus the winning internal fit, for callers that
+// keep scoring against it (CalibrateAppend's drift check).
+func (s *Session) calibrate(ctx context.Context, ds *Dataset, opt CalibrateOptions) (*CalibrationResult, *calib.FormFit, error) {
+	times, err := datasetTimes(ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(times)
+	if opt.Folds != 0 && (opt.Folds < 2 || opt.Folds > n) {
+		return nil, nil, fmt.Errorf("%w: %d folds for %d observations", ErrCalibration, opt.Folds, n)
 	}
 
 	feats, err := s.features(ctx, ds.Observations)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	fr, ferr := calib.Fit(times, feats)
-	if ferr != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCalibration, ferr)
+
+	var best *calib.FormFit
+	var scoreboard []FormScore
+	switch formName := strings.ToLower(opt.Form); formName {
+	case "", FormAuto:
+		k := opt.Folds
+		if k == 0 && n >= 2 {
+			k = 5
+			if k > n {
+				k = n
+			}
+		}
+		if k < 2 {
+			// A single observation cannot cross-validate; fall back to
+			// the linear form with no scoreboard.
+			best, err = fitForm(times, feats, calib.FormLinear)
+			if err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+		sel, serr := calib.SelectModel(times, feats, k, s.m.Seed())
+		if serr != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCalibration, serr)
+		}
+		best = sel.Best
+		for _, sc := range sel.Scores {
+			scoreboard = append(scoreboard, FormScore{
+				Form: sc.Form, Coeffs: sc.Coeffs,
+				R2: sc.R2, RMSESeconds: sc.RMSE,
+				CVRMSESeconds: sc.CVRMSE, CVMAPE: sc.CVMAPE,
+				Selected: sc.Selected, Error: sc.Err,
+			})
+		}
+	default:
+		best, err = fitForm(times, feats, formName)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// The side linear fit backs Params/StdErr — the machine-file
+	// interpretation — whatever form won. Its fallback ladder makes it
+	// nearly always available; when even that degenerates while a richer
+	// form fitted, the parameters are simply left zero.
+	var linP, linSE FitParams
+	if lfr, lerr := calib.Fit(times, feats); lerr == nil {
+		linP, linSE = fitParams(lfr.Params), fitParams(lfr.StdErr)
+	} else if best.Form == calib.FormLinear {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCalibration, lerr)
 	}
 
 	cr := &CalibrationResult{
 		Dataset:      ds.Name,
-		Observations: len(ds.Observations),
+		Observations: n,
 		Model:        s.sc.model.String(),
-		Terms:        fr.Terms,
-		Params:       fitParams(fr.Params),
-		StdErr:       fitParams(fr.StdErr),
-		R2:           fr.R2,
-		RMSESeconds:  fr.RMSE,
-		Fitted:       s.fittedSpec(fr.Params),
+		Form:         best.Form,
+		Terms:        best.Terms,
+		Coeffs:       best.Coeffs,
+		Breakpoint:   best.Breakpoint,
+		Params:       linP,
+		StdErr:       linSE,
+		R2:           best.R2,
+		RMSESeconds:  best.RMSE,
+		SigmaRel:     best.SigmaRel,
+		Scoreboard:   scoreboard,
+		Fitted:       s.fittedSpec(best, linP),
 	}
+	cr.FittedFingerprint = cr.Fitted.Fingerprint()
 	for i, o := range ds.Observations {
-		fitted := fr.Params.Predict(feats[i])
+		fitted := best.Predict(feats[i])
 		cr.Points = append(cr.Points, CalibrationPoint{
 			Deck:            o.Deck,
 			PEs:             o.PEs,
@@ -362,13 +637,17 @@ func (s *Session) Calibrate(ctx context.Context, ds *Dataset, opt CalibrateOptio
 		})
 	}
 	if opt.Folds >= 2 {
-		cv, err := calib.CrossValidate(times, feats, opt.Folds, s.m.Seed())
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCalibration, err)
+		form, ferr := calib.FormByName(best.Form)
+		if ferr != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCalibration, ferr)
+		}
+		cv, cerr := calib.CrossValidateForm(times, feats, opt.Folds, s.m.Seed(), form)
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCalibration, cerr)
 		}
 		cr.CV = &CVReport{Folds: cv.Folds, RMSESeconds: cv.RMSE, MAPE: cv.MAPE, MaxAPE: cv.MaxAPE}
 	}
-	return cr, nil
+	return cr, best, nil
 }
 
 func fitParams(p calib.Params) FitParams {
@@ -380,24 +659,45 @@ func fitParams(p calib.Params) FitParams {
 	}
 }
 
-// fittedSpec converts fitted parameters into a usable machine: a
-// single-segment network at the fitted latency/bandwidth plus the fitted
-// compute scale, clamped into the machine-file ranges.
-func (s *Session) fittedSpec(p calib.Params) MachineSpec {
-	latUS := p.LatencySec * 1e6
+// fittedSegment clamps one fitted latency / byte-cost pair into the
+// machine-file segment ranges (non-negative latency, bandwidth capped).
+func fittedSegment(minBytes int, latSec, byteSec float64) SegmentSpec {
+	latUS := latSec * 1e6
 	if !(latUS > 0) {
 		latUS = 0
 	} else if latUS > 1e9 {
 		latUS = 1e9
 	}
 	bwMBs := 0.0
-	if p.ByteSec > 0 {
-		bwMBs = 1 / (p.ByteSec * 1e6)
+	if byteSec > 0 {
+		bwMBs = 1 / (byteSec * 1e6)
 		if bwMBs > 1e9 {
 			bwMBs = 1e9
 		}
 	}
-	scale := p.ComputeScale
+	return SegmentSpec{MinBytes: minBytes, LatencyUS: latUS, BandwidthMBs: bwMBs}
+}
+
+// fittedSpec converts the winning fit into a usable machine. The linear
+// form (and the linear-equivalent parameters standing in for loglog and
+// interact winners) maps onto a single-segment network; the piecewise
+// form becomes a two-segment network splitting at the fitted
+// breakpoint, which is exactly what the machine-file segment syntax
+// expresses. Everything is clamped into the machine-file ranges.
+func (s *Session) fittedSpec(best *calib.FormFit, lin FitParams) MachineSpec {
+	scale := lin.ComputeScale
+	segments := []SegmentSpec{fittedSegment(0, lin.LatencySeconds, lin.SecondsPerByte)}
+	if lp, ok := best.LinearParams(); ok {
+		scale = lp.ComputeScale
+		segments = []SegmentSpec{fittedSegment(0, lp.LatencySec, lp.ByteSec)}
+	}
+	if best.Form == calib.FormPiecewise && len(best.Coeffs) == 6 && int(best.Breakpoint) > 0 {
+		scale = best.Coeffs[0]
+		segments = []SegmentSpec{
+			fittedSegment(0, best.Coeffs[1], best.Coeffs[2]),
+			fittedSegment(int(best.Breakpoint), best.Coeffs[3], best.Coeffs[4]),
+		}
+	}
 	if !(scale > 0) {
 		scale = 1
 	} else if scale > 1e6 {
@@ -405,7 +705,7 @@ func (s *Session) fittedSpec(p calib.Params) MachineSpec {
 	}
 	spec := MachineSpec{
 		Name:           "calibrated",
-		Network:        &NetworkSpec{Name: "calibrated", Segments: []SegmentSpec{{MinBytes: 0, LatencyUS: latUS, BandwidthMBs: bwMBs}}},
+		Network:        &NetworkSpec{Name: "calibrated", Segments: segments},
 		ComputeScale:   scale,
 		Seed:           s.m.Seed(),
 		Quick:          s.m.Quick(),

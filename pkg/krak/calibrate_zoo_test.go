@@ -1,0 +1,216 @@
+package krak
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// zooMachine builds a session-backed synthetic dataset generator from a
+// machine file, in heterogeneous mode (exactly linear in the machine
+// parameters, so drift verdicts are about the machine, not model error).
+func zooDataset(t *testing.T, machineFile string, decks []string, pes []int) *Dataset {
+	t.Helper()
+	m, err := LoadMachine([]byte(machineFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := calibSession(t, m, GeneralHeterogeneous).SynthesizeDataset(context.Background(), SweepPredict, decks, pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+const (
+	zooMachineA = "machine labA\nnetwork a-net\nsegment 0 20 200\ncompute-scale 1.7\nquick\n"
+	// The same machine after a network downgrade: 10x the latency, a
+	// fifth of the bandwidth. Compute is untouched, so only the
+	// communication terms move.
+	zooMachineB = "machine labB\nnetwork b-net\nsegment 0 200 40\ncompute-scale 1.7\nquick\n"
+)
+
+// TestCalibrateAppendDrift is the drift-detection regression test:
+// calibrate on machine A's measurements, then append fresh data — the
+// drift flag must stay quiet for more machine-A data and trip when the
+// fresh data comes from machine B's degraded network.
+func TestCalibrateAppendDrift(t *testing.T) {
+	base := zooDataset(t, zooMachineA, []string{"small", "figure2"}, []int{2, 4, 8, 16, 32})
+	freshSame := zooDataset(t, zooMachineA, []string{"small"}, []int{3, 6, 12, 24})
+	freshMoved := zooDataset(t, zooMachineB, []string{"small"}, []int{3, 6, 12, 24})
+
+	m, err := NewMachine(WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := calibSession(t, m, GeneralHeterogeneous)
+	ctx := context.Background()
+
+	cr, err := s.CalibrateAppend(ctx, base, freshSame, CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Drift == nil {
+		t.Fatal("append result carries no drift report")
+	}
+	if cr.Drift.Flagged {
+		t.Errorf("same-machine append flagged drift: %+v", cr.Drift)
+	}
+	if cr.Drift.FreshObservations != len(freshSame.Observations) {
+		t.Errorf("drift report counts %d fresh observations, want %d",
+			cr.Drift.FreshObservations, len(freshSame.Observations))
+	}
+	if cr.Drift.Band <= 0 {
+		t.Errorf("drift band %.3g, want > 0", cr.Drift.Band)
+	}
+	if cr.Observations != len(base.Observations)+len(freshSame.Observations) {
+		t.Errorf("merged fit covers %d observations, want %d",
+			cr.Observations, len(base.Observations)+len(freshSame.Observations))
+	}
+
+	moved, err := s.CalibrateAppend(ctx, base, freshMoved, CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Drift == nil || !moved.Drift.Flagged {
+		t.Fatalf("changed-machine append did not flag drift: %+v", moved.Drift)
+	}
+	if moved.Drift.FreshRelRMS <= moved.Drift.Band {
+		t.Errorf("flagged drift with rel RMS %.3g inside band %.3g",
+			moved.Drift.FreshRelRMS, moved.Drift.Band)
+	}
+	// The verdicts must be ordered: moving machines produces strictly
+	// larger fresh residuals than staying put.
+	if moved.Drift.FreshRelRMS <= cr.Drift.FreshRelRMS {
+		t.Errorf("moved rel RMS %.3g not above same-machine %.3g",
+			moved.Drift.FreshRelRMS, cr.Drift.FreshRelRMS)
+	}
+}
+
+// TestCalibrateFormSelection covers the model zoo through the façade:
+// auto mode produces a scoreboard covering every registered form with
+// exactly one selected winner, every form is individually fittable by
+// name, and unknown forms are rejected with the calibration sentinel.
+func TestCalibrateFormSelection(t *testing.T) {
+	ds := zooDataset(t, zooMachineA, []string{"small", "figure2"}, []int{2, 4, 8, 16, 32})
+	m, err := NewMachine(WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := calibSession(t, m, GeneralHeterogeneous)
+	ctx := context.Background()
+
+	cr, err := s.Calibrate(ctx, ds, CalibrateOptions{Form: FormAuto, Folds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forms := ModelForms()
+	if len(cr.Scoreboard) != len(forms) {
+		t.Fatalf("scoreboard has %d rows for %d registered forms", len(cr.Scoreboard), len(forms))
+	}
+	rows := make(map[string]FormScore, len(cr.Scoreboard))
+	selected := 0
+	for _, row := range cr.Scoreboard {
+		rows[row.Form] = row
+		if row.Selected {
+			selected++
+			if row.Form != cr.Form {
+				t.Errorf("selected row %q disagrees with result form %q", row.Form, cr.Form)
+			}
+		}
+	}
+	for _, f := range forms {
+		if _, ok := rows[f.Name]; !ok {
+			t.Errorf("registered form %q missing from the scoreboard", f.Name)
+		}
+	}
+	if selected != 1 {
+		t.Errorf("%d scoreboard rows selected, want exactly 1", selected)
+	}
+	if len(cr.Coeffs) == 0 {
+		t.Error("auto-selected result carries no coefficients")
+	}
+
+	// Every form is reachable by explicit name, and keeps its identity
+	// on the result.
+	for _, f := range forms {
+		one, err := s.Calibrate(ctx, ds, CalibrateOptions{Form: f.Name})
+		if err != nil {
+			t.Errorf("form %q: %v", f.Name, err)
+			continue
+		}
+		if one.Form != f.Name {
+			t.Errorf("requested form %q, got %q", f.Name, one.Form)
+		}
+		if len(one.Coeffs) != f.Coeffs {
+			t.Errorf("form %q reports %d coefficients, want %d", f.Name, len(one.Coeffs), f.Coeffs)
+		}
+		if one.Scoreboard != nil {
+			t.Errorf("explicit form %q grew a scoreboard", f.Name)
+		}
+	}
+
+	if _, err := s.Calibrate(ctx, ds, CalibrateOptions{Form: "cubic-spline"}); !errors.Is(err, ErrCalibration) {
+		t.Errorf("unknown form error: %v", err)
+	}
+}
+
+// TestCalibrateAutoGolden pins the full auto-mode JSON result — the
+// scoreboard the CLI emits under `krak calibrate -model auto --json` —
+// against a golden file, reusing the -update flag.
+func TestCalibrateAutoGolden(t *testing.T) {
+	src := []byte(`dataset golden
+obs small 2 0.052
+obs small 4 0.031
+obs small 8 0.021
+obs small 16 0.015
+obs figure2 8 0.08
+obs figure2 16 0.05
+`)
+	ds, err := ParseDataset(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := calibSession(t, m, GeneralHomogeneous).Calibrate(context.Background(), ds, CalibrateOptions{Form: FormAuto, Folds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(cr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	// Coverage guard independent of the stored bytes: the golden must
+	// mention every registered form so a form added to the zoo without
+	// regenerating the golden fails loudly.
+	for _, f := range ModelForms() {
+		if !strings.Contains(string(got), `"form": "`+f.Name+`"`) {
+			t.Errorf("auto-mode JSON does not score form %q", f.Name)
+		}
+	}
+	path := filepath.Join("testdata", "golden", "calibrate_auto.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("auto-mode calibration drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

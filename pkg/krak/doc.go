@@ -33,7 +33,11 @@
 //     scale, latency, bandwidth, fixed overhead) to a timing Dataset —
 //     measured elsewhere or self-generated with SynthesizeDataset —
 //     returning a CalibrationResult whose Fitted MachineSpec feeds
-//     straight back into NewMachine.
+//     straight back into NewMachine. CalibrateOptions selects the
+//     timing-model form (FormAuto cross-validates the zoo ModelForms
+//     lists and reports a selection Scoreboard), and CalibrateAppend
+//     folds fresh measurements into a stored dataset with a drift
+//     check (DriftReport) against the base fit's error band.
 //
 // Session methods return a unified *Result carrying typed per-phase
 // breakdowns, partition or hydro diagnostics, and both human-readable
@@ -70,18 +74,22 @@
 // `krak serve` exposes Predict, Simulate, Sweep, Calibrate, and the
 // experiment registry as a long-running HTTP service. This package
 // carries the service's wire types so clients and server share one
-// schema: PredictRequest, SimulateRequest, SweepRequest, and
-// CalibrateRequest are the POST bodies (each with Normalized defaults
-// and a Scenario/Grid/Materialize constructor), MachineSpec selects the
+// schema: PredictRequest, SimulateRequest, SweepRequest,
+// CalibrateRequest, AppendRequest, and RegisterMachineRequest are the
+// POST bodies (each with Normalized defaults and a
+// Scenario/Grid/Materialize/Fresh constructor), MachineSpec selects the
 // platform (preset, custom network, compute scale, or an embedded
 // machine file; Fingerprint is its content identity), and
-// Result/SweepResult/CalibrationResult round-trip through
-// MarshalJSON/UnmarshalJSON with a schema stamp (ResultSchema,
-// SweepSchema, CalibrationSchema) that UnmarshalJSON enforces via
-// ErrSchema. A /v1/predict response is byte-identical to `krak predict
-// --json` for the same scenario, and /v1/calibrate to `krak calibrate
-// --json`. See docs/ARCHITECTURE.md's Serving and Calibration sections
-// for the endpoint table and data flows.
+// Result/SweepResult/CalibrationResult/MachineHistory round-trip
+// through MarshalJSON/UnmarshalJSON with a schema stamp (ResultSchema,
+// SweepSchema, CalibrationSchema, MachineHistorySchema) that
+// UnmarshalJSON enforces via ErrSchema. A /v1/predict response is
+// byte-identical to `krak predict --json` for the same scenario,
+// /v1/calibrate to `krak calibrate --json`, and /v1/calibrate/append to
+// `krak calibrate -append --json`; GET /v1/machines/{fingerprint}
+// serves a registered machine's calibration history byte-identically
+// across server restarts. See docs/ARCHITECTURE.md's Serving and
+// Calibration sections for the endpoint table and data flows.
 //
 // Everything under internal/ is unstable implementation detail; new code
 // should depend only on this package. docs/ARCHITECTURE.md maps the
