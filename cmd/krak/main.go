@@ -15,6 +15,7 @@
 //	krak calibrate   -data runs.txt -model auto -folds 5 [-append fresh.txt] | -synth -deck small -pe 2,4,8 [--json]
 //	krak machines    [-forms] [--json]
 //	krak serve       -addr :8080 -parallel 8 -cache-size 1024 [-quick]
+//	krak gateway     -addr :8090 -replica http://127.0.0.1:8081,http://127.0.0.1:8082 [-cache-dir DIR] [-quick]
 //
 // sweep and experiments fan their work out over the machine's worker pool
 // (-parallel N, default as wide as the hardware). experiments output is
@@ -96,6 +97,8 @@ func main() {
 		err = runMachines(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "gateway":
+		err = runGateway(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -124,6 +127,7 @@ subcommands:
   calibrate    fit machine parameters to measured timings
   machines     list machine presets, fingerprints, and model forms
   serve        run the batched HTTP prediction service
+  gateway      route requests across serve replicas with failover
 
 Run "krak <subcommand> -h" for the subcommand's flags. All subcommands
 accept --json for machine-readable output, and subcommands that take a

@@ -11,8 +11,32 @@ import (
 	"syscall"
 	"time"
 
+	"krak/internal/faultinject"
 	"krak/internal/server"
 )
+
+// loadFaultPlan reads and parses a -fault-plan file into an Injector.
+// It refuses to arm unless -allow-faults acknowledges that the plan
+// deliberately breaks responses — chaos can never ship on by accident.
+// An empty path is a nil (no-op) injector.
+func loadFaultPlan(path string, allow bool) (*faultinject.Injector, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if !allow {
+		return nil, fmt.Errorf("krak: -fault-plan deliberately corrupts responses; pass -allow-faults to confirm")
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := faultinject.ParseFaultPlan(src)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "krak: fault injection ACTIVE (plan %q, seed %d)\n", plan.Name, plan.Seed)
+	return faultinject.New(plan), nil
+}
 
 // runServe starts the long-running HTTP prediction service: the serving
 // subsystem of internal/server behind a net/http listener with graceful
@@ -37,6 +61,8 @@ func runServe(args []string) error {
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request timeout for heavy endpoints once admitted (0 = none)")
 	maxJobs := fs.Int("max-jobs", 0, "cap on live background jobs (0 = default 256)")
 	jobTTL := fs.Duration("job-ttl", 0, "how long finished job results stay fetchable (0 = default 15m)")
+	faultPlan := fs.String("fault-plan", "", "fault-injection plan file for chaos drills (requires -allow-faults)")
+	allowFaults := fs.Bool("allow-faults", false, "acknowledge that -fault-plan deliberately breaks responses")
 	pf := addProfileFlags(fs)
 	fs.Parse(args)
 	stopProf, err := pf.start()
@@ -58,6 +84,11 @@ func runServe(args []string) error {
 		return fmt.Errorf("krak: -request-timeout must be >= 0, got %v", *requestTimeout)
 	}
 
+	faults, err := loadFaultPlan(*faultPlan, *allowFaults)
+	if err != nil {
+		return err
+	}
+
 	h, err := server.New(server.Config{
 		Parallel:       *parallel,
 		CacheSize:      *cacheSize,
@@ -71,10 +102,12 @@ func runServe(args []string) error {
 		RequestTimeout: *requestTimeout,
 		MaxJobs:        *maxJobs,
 		JobTTL:         *jobTTL,
+		Faults:         faults,
 	})
 	if err != nil {
 		return err
 	}
+	defer h.Close()
 	srv := &http.Server{Addr: *addr, Handler: h}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -92,6 +92,7 @@ func main() {
 		failures   atomic.Int64
 		rejected   atomic.Int64 // 429: admission queue full
 		retryHints atomic.Int64 // 429/503 responses carrying Retry-After
+		degraded   atomic.Int64 // gateway responses carrying Krak-Degraded
 		latencies  = make([]time.Duration, *n)
 		client     = &http.Client{Timeout: 120 * time.Second}
 	)
@@ -107,7 +108,14 @@ func main() {
 					return
 				}
 				t0 := time.Now()
-				switch err := request(client, *addr, *endpoint, bodies[i%len(bodies)]); {
+				deg, err := request(client, *addr, *endpoint, bodies[i%len(bodies)])
+				if deg != "" {
+					// A gateway answered from a degradation tier (its disk
+					// cache or local quick evaluation) — served, not failed,
+					// but worth its own line in the report.
+					degraded.Add(1)
+				}
+				switch {
 				case err == nil:
 				case errors429(err):
 					// Backpressure is the server working as designed under
@@ -137,6 +145,9 @@ func main() {
 		*n, *endpoint, *c, served, failures.Load())
 	fmt.Printf("  backpressure: %d rejected with 429 (%d carried Retry-After)\n",
 		rejected.Load(), retryHints.Load())
+	if degraded.Load() > 0 {
+		fmt.Printf("  degraded: %d served via a gateway degradation tier (Krak-Degraded)\n", degraded.Load())
+	}
 	fmt.Printf("  wall %.2fs  throughput %.0f req/s\n", wall.Seconds(), float64(*n)/wall.Seconds())
 	fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
@@ -167,42 +178,44 @@ func hasRetryAfter(err error) bool {
 }
 
 // request POSTs one request and validates the response decodes as the
-// endpoint's schema-stamped result type.
-func request(client *http.Client, addr, endpoint string, body []byte) error {
+// endpoint's schema-stamped result type. The first return is the
+// Krak-Degraded header ("" when a replica served normally).
+func request(client *http.Client, addr, endpoint string, body []byte) (string, error) {
 	resp, err := client.Post(addr+"/v1/"+endpoint, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
+	degraded := resp.Header.Get("Krak-Degraded")
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return degraded, err
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
-		return &backpressureErr{retryAfter: resp.Header.Get("Retry-After")}
+		return degraded, &backpressureErr{retryAfter: resp.Header.Get("Retry-After")}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d: %s", resp.StatusCode, data)
+		return degraded, fmt.Errorf("status %d: %s", resp.StatusCode, data)
 	}
 	switch endpoint {
 	case "sweep":
 		var sr krak.SweepResult
 		if err := json.Unmarshal(data, &sr); err != nil {
-			return err // ErrSchema here means the server drifted
+			return degraded, err // ErrSchema here means the server drifted
 		}
 		if len(sr.Points) == 0 {
-			return fmt.Errorf("implausible sweep: no points")
+			return degraded, fmt.Errorf("implausible sweep: no points")
 		}
 	default:
 		var res krak.Result
 		if err := json.Unmarshal(data, &res); err != nil {
-			return err // ErrSchema here means the server drifted
+			return degraded, err // ErrSchema here means the server drifted
 		}
 		if res.Kind != krak.KindPredict || res.TotalSeconds <= 0 {
-			return fmt.Errorf("implausible result: kind=%s total=%g", res.Kind, res.TotalSeconds)
+			return degraded, fmt.Errorf("implausible result: kind=%s total=%g", res.Kind, res.TotalSeconds)
 		}
 	}
-	return nil
+	return degraded, nil
 }
 
 // waitHealthy polls /healthz until the server answers or the budget runs

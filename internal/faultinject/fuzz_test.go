@@ -1,0 +1,46 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseFaultPlan drives the plan parser with arbitrary bytes: it
+// must never panic, must only return errors (no partial-success states
+// that validate out of range), and — the boundedparse contract — must
+// never allocate proportionally to a hostile input's claimed sizes.
+func FuzzParseFaultPlan(f *testing.F) {
+	f.Add([]byte("plan drill\nseed 42\nerror-rate 0.25\n"))
+	f.Add([]byte("scope /v1/predict\nlatency 1ms 20ms\nlatency-rate 0.5\n"))
+	f.Add([]byte("# comment only\n\n"))
+	f.Add([]byte("error-rate 2\n"))
+	f.Add([]byte("truncate-rate 0.5\ncorrupt-rate 0.6\n"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		p, err := ParseFaultPlan(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must be internally valid: the injector
+		// trusts these invariants.
+		for _, rate := range []float64{p.ErrorRate, p.LatencyRate, p.TruncateRate, p.CorruptRate} {
+			if rate < 0 || rate > 1 || rate != rate {
+				t.Fatalf("parsed rate %g out of [0,1]", rate)
+			}
+		}
+		if p.ErrorRate+p.TruncateRate+p.CorruptRate > 1 {
+			t.Fatalf("outcome rates sum past 1: %+v", p)
+		}
+		if p.Seed == 0 {
+			t.Fatal("parsed seed 0")
+		}
+		if p.ErrorStatus < 400 || p.ErrorStatus > 599 {
+			t.Fatalf("parsed error status %d", p.ErrorStatus)
+		}
+		if len(p.Scopes) > maxPlanScopes {
+			t.Fatalf("parsed %d scopes past the cap", len(p.Scopes))
+		}
+		if p.LatencyMin < 0 || p.LatencyMax < p.LatencyMin || p.LatencyMax > 10*time.Second {
+			t.Fatalf("parsed latency bounds %v %v", p.LatencyMin, p.LatencyMax)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseGatewayConfig drives the config parser with arbitrary bytes:
+// no panics, errors-only on bad input, and any accepted config must
+// satisfy the invariants Validate enforces on the bounded fields (so an
+// attacker-supplied config file cannot smuggle out-of-range knobs
+// through the parser).
+func FuzzParseGatewayConfig(f *testing.F) {
+	f.Add([]byte("replica http://127.0.0.1:8081\nretries 2\n"))
+	f.Add([]byte("virtual-nodes 64\nprobe-interval 2s\nseed 7\n"))
+	f.Add([]byte("# comment\n\nquick true\n"))
+	f.Add([]byte("breaker-threshold 5\nbreaker-cooldown 10s\n"))
+	f.Add([]byte(strings.Repeat("replica http://h\n", 65)))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		cfg, err := ParseGatewayConfig(src)
+		if err != nil {
+			return
+		}
+		if len(cfg.Replicas) > maxReplicas {
+			t.Fatalf("parsed %d replicas past the cap", len(cfg.Replicas))
+		}
+		if cfg.VirtualNodes < 1 || cfg.VirtualNodes > maxVirtualNodes {
+			t.Fatalf("parsed virtual-nodes %d", cfg.VirtualNodes)
+		}
+		if cfg.Retries < 0 || cfg.Retries > maxRetries {
+			t.Fatalf("parsed retries %d", cfg.Retries)
+		}
+		if cfg.BreakerThreshold < 1 || cfg.BreakerThreshold > maxBreakerFails {
+			t.Fatalf("parsed breaker-threshold %d", cfg.BreakerThreshold)
+		}
+		if cfg.Seed == 0 {
+			t.Fatal("parsed seed 0")
+		}
+		for _, d := range []int64{int64(cfg.ProbeInterval), int64(cfg.ProbeTimeout),
+			int64(cfg.RetryBase), int64(cfg.RetryCap), int64(cfg.BreakerCooldown)} {
+			if d <= 0 || d > int64(maxDuration) {
+				t.Fatalf("parsed duration %d out of bounds", d)
+			}
+		}
+	})
+}

@@ -1,0 +1,419 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"krak/internal/artifacts"
+	"krak/pkg/krak"
+)
+
+// stubReplica is a fake backend with a scriptable handler and request
+// counting.
+type stubReplica struct {
+	ts       *httptest.Server
+	requests atomic.Int64
+	fail     atomic.Bool // when set, answer 500
+	garbage  atomic.Bool // when set, answer 200 with invalid UTF-8
+}
+
+func newStubReplica() *stubReplica {
+	s := &stubReplica{}
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		s.requests.Add(1)
+		switch {
+		case s.fail.Load():
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case s.garbage.Load():
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte("{\"ok\":\xff\xfe}"))
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"ok":true}`)
+		}
+	}))
+	return s
+}
+
+// testConfig returns a fast-timing config over the stub URLs.
+func testConfig(urls ...string) Config {
+	cfg := DefaultConfig()
+	cfg.Replicas = urls
+	cfg.ProbeInterval = 20 * time.Millisecond
+	cfg.ProbeTimeout = 200 * time.Millisecond
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryCap = 2 * time.Millisecond
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = 100 * time.Millisecond
+	cfg.LocalFallback = false
+	return cfg
+}
+
+func predictBody(pe int) []byte {
+	b, _ := json.Marshal(krak.PredictRequest{Deck: "small", PEs: pe})
+	return b
+}
+
+func post(t *testing.T, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestGatewayRoutesConsistently(t *testing.T) {
+	var stubs []*stubReplica
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s := newStubReplica()
+		defer s.ts.Close()
+		stubs = append(stubs, s)
+		urls = append(urls, s.ts.URL)
+	}
+	g, err := New(testConfig(urls...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := predictBody(16)
+	for i := 0; i < 10; i++ {
+		if rec := post(t, g, "/v1/predict", body); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	// Consistent hashing: one replica saw all ten, the others none.
+	served := 0
+	for _, s := range stubs {
+		if n := s.requests.Load(); n > 0 {
+			served++
+			if n != 10 {
+				t.Fatalf("owning replica served %d/10", n)
+			}
+		}
+	}
+	if served != 1 {
+		t.Fatalf("one key spread over %d replicas", served)
+	}
+}
+
+func TestGatewayFailsOverAndRetries(t *testing.T) {
+	var stubs []*stubReplica
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s := newStubReplica()
+		defer s.ts.Close()
+		stubs = append(stubs, s)
+		urls = append(urls, s.ts.URL)
+	}
+	stubs[0].fail.Store(true)
+	g, err := New(testConfig(urls...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough distinct keys that replica 0 owns some of them.
+	for pe := 1; pe <= 32; pe++ {
+		if rec := post(t, g, "/v1/predict", predictBody(pe)); rec.Code != http.StatusOK {
+			t.Fatalf("pe %d: status %d body %s", pe, rec.Code, rec.Body.String())
+		}
+	}
+	if g.retries.Load() == 0 {
+		t.Fatal("no retries recorded though one replica always fails")
+	}
+	if g.metrics.Total("krak_gateway_retries_total") == 0 {
+		t.Fatal("retry metric not exported")
+	}
+}
+
+func TestGatewayRejectsCorruptBodies(t *testing.T) {
+	var stubs []*stubReplica
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s := newStubReplica()
+		defer s.ts.Close()
+		stubs = append(stubs, s)
+		urls = append(urls, s.ts.URL)
+	}
+	stubs[0].garbage.Store(true)
+	g, err := New(testConfig(urls...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 1; pe <= 16; pe++ {
+		rec := post(t, g, "/v1/predict", predictBody(pe))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("pe %d: status %d", pe, rec.Code)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("pe %d: gateway relayed a corrupt body %q", pe, rec.Body.String())
+		}
+	}
+}
+
+func TestGatewayBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	s := newStubReplica()
+	defer s.ts.Close()
+	s.fail.Store(true)
+	cfg := testConfig(s.ts.URL)
+	cfg.Retries = 0
+	g, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		post(t, g, "/v1/predict", predictBody(4))
+	}
+	if got := g.replicas[0].breaker.value(); got != breakerOpen {
+		t.Fatalf("breaker state %d after %d consecutive failures, want open", got, cfg.BreakerThreshold)
+	}
+	// With the breaker open the replica is not even attempted.
+	before := s.requests.Load()
+	rec := post(t, g, "/v1/predict", predictBody(4))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with every breaker open, want 503", rec.Code)
+	}
+	if s.requests.Load() != before {
+		t.Fatal("open breaker did not stop traffic to the replica")
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+func TestGatewayDegradedCacheTier(t *testing.T) {
+	dir := t.TempDir()
+	// Pre-render what a replica would have cached for this request.
+	req := krak.PredictRequest{Deck: "small", PEs: 8}
+	ms, err := req.Machine.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Quick = true
+	req.Machine = ms.Normalized()
+	key := req.CanonicalKey()
+	cachedBody := []byte("{\n  \"cached\": true\n}\n")
+	disk, err := artifacts.OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.Put("response", key, cachedBody)
+
+	dead := newStubReplica()
+	dead.ts.Close() // every attempt is a transport error
+	cfg := testConfig(dead.ts.URL)
+	cfg.CacheDir = dir
+	cfg.Quick = true
+	g, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, g, "/v1/predict", predictBody(8))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want degraded 200", rec.Code)
+	}
+	if got := rec.Header().Get("Krak-Degraded"); got != "cache" {
+		t.Fatalf("Krak-Degraded %q, want cache", got)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), cachedBody) {
+		t.Fatalf("degraded body %q, want the cached bytes", rec.Body.String())
+	}
+	if g.degradedCache.Load() != 1 {
+		t.Fatal("degraded-cache counter not bumped")
+	}
+}
+
+func TestGatewayDegradedQuickTier(t *testing.T) {
+	dead := newStubReplica()
+	dead.ts.Close()
+	cfg := testConfig(dead.ts.URL)
+	cfg.Quick = true
+	cfg.LocalFallback = true
+	g, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, g, "/v1/predict", predictBody(4))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d body %s, want local-fallback 200", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Krak-Degraded"); got != "quick" {
+		t.Fatalf("Krak-Degraded %q, want quick", got)
+	}
+	var res krak.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("degraded body does not decode as a Result: %v", err)
+	}
+	if res.Kind != krak.KindPredict || res.TotalSeconds <= 0 {
+		t.Fatalf("implausible local result: %+v", res)
+	}
+}
+
+func TestGatewayUnavailable(t *testing.T) {
+	dead := newStubReplica()
+	dead.ts.Close()
+	g, err := New(testConfig(dead.ts.URL), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, g, "/v1/predict", predictBody(4))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var envelope map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("error envelope: %v", err)
+	}
+	if !strings.Contains(envelope["error"], "service unavailable") {
+		t.Fatalf("error %q does not carry ErrUnavailable", envelope["error"])
+	}
+}
+
+func TestGatewayNonIdempotentSingleAttempt(t *testing.T) {
+	var stubs []*stubReplica
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s := newStubReplica()
+		defer s.ts.Close()
+		s.fail.Store(true)
+		stubs = append(stubs, s)
+		urls = append(urls, s.ts.URL)
+	}
+	g, err := New(testConfig(urls...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(krak.SweepRequest{Decks: []string{"small"}, PEs: []int{2, 4}})
+	rec := post(t, g, "/v1/jobs", body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	var attempts int64
+	for _, s := range stubs {
+		attempts += s.requests.Load()
+	}
+	if attempts != 1 {
+		t.Fatalf("non-idempotent submit attempted %d times, want exactly 1", attempts)
+	}
+}
+
+func TestGatewayHealthProbesMarkDeadReplicas(t *testing.T) {
+	alive := newStubReplica()
+	defer alive.ts.Close()
+	dead := newStubReplica()
+	dead.ts.Close()
+	g, err := New(testConfig(alive.ts.URL, dead.ts.URL), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g.Start(ctx)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if !g.replicas[1].healthy.Load() && g.replicas[0].healthy.Load() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if g.replicas[1].healthy.Load() {
+		t.Fatal("probe never marked the dead replica unhealthy")
+	}
+	if !g.replicas[0].healthy.Load() {
+		t.Fatal("probe marked the live replica unhealthy")
+	}
+}
+
+func TestGatewayObservability(t *testing.T) {
+	s := newStubReplica()
+	defer s.ts.Close()
+	g, err := New(testConfig(s.ts.URL), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post(t, g, "/v1/predict", predictBody(4))
+
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	text := rec.Body.String()
+	for _, family := range []string{
+		"krak_gateway_requests_total",
+		"krak_gateway_retries_total",
+		"krak_gateway_breaker_state",
+		"krak_gateway_degraded_total",
+		"krak_gateway_replica_healthy",
+		"krak_http_requests_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status %d", rec.Code)
+	}
+	var view map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view["replicas"] != float64(1) {
+		t.Fatalf("healthz replicas %v", view["replicas"])
+	}
+}
+
+// TestGatewayReadThroughCachePopulates pins the read-through property:
+// a body proxied for a canonically-keyed endpoint lands in the
+// gateway's disk tier, keyed exactly as a replica would key it.
+func TestGatewayReadThroughCachePopulates(t *testing.T) {
+	dir := t.TempDir()
+	s := newStubReplica()
+	defer s.ts.Close()
+	cfg := testConfig(s.ts.URL)
+	cfg.CacheDir = dir
+	cfg.Quick = true
+	g, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := post(t, g, "/v1/predict", predictBody(8)); rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	req := krak.PredictRequest{Deck: "small", PEs: 8}
+	ms, err := req.Machine.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Quick = true
+	req.Machine = ms.Normalized()
+	if _, ok := g.disk.Get("response", req.CanonicalKey()); !ok {
+		t.Fatal("proxied response not written through to the disk tier")
+	}
+	// And nothing leaked as temp files.
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*", ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}

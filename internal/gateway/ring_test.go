@@ -1,0 +1,79 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testReplicas(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 8081+i)
+	}
+	return out
+}
+
+func TestRingSequenceCoversAllReplicas(t *testing.T) {
+	r := newRing(testReplicas(5), 64)
+	seq := r.sequence("predict|small|16|general-homo|abc")
+	if len(seq) != 5 {
+		t.Fatalf("sequence length %d, want 5", len(seq))
+	}
+	seen := map[int]bool{}
+	for _, idx := range seq {
+		if seen[idx] {
+			t.Fatalf("replica %d appears twice in %v", idx, seq)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestRingStableUnderReplicaReorder(t *testing.T) {
+	urls := testReplicas(4)
+	reordered := []string{urls[2], urls[0], urls[3], urls[1]}
+	a := newRing(urls, 64)
+	b := newRing(reordered, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("predict|small|%d|general-homo|fp", 1<<uint(i%10))
+		// Owners are replica indices into different lists; compare URLs.
+		if urls[a.owner(key)] != reordered[b.owner(key)] {
+			t.Fatalf("key %q owner moved when the replica list was reordered", key)
+		}
+	}
+}
+
+func TestRingDeterministicAndSpread(t *testing.T) {
+	r := newRing(testReplicas(3), 64)
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("simulate|medium|%d|0|multilevel|fp%d", i, i)
+		own := r.owner(key)
+		if again := r.owner(key); again != own {
+			t.Fatalf("owner not deterministic for %q", key)
+		}
+		counts[own]++
+	}
+	for i, c := range counts {
+		// With 64 vnodes each, a replica owning under 10% of keys means
+		// the ring is badly unbalanced.
+		if c < 30 {
+			t.Fatalf("replica %d owns only %d/300 keys: %v", i, c, counts)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
+	urls := testReplicas(4)
+	full := newRing(urls, 64)
+	reduced := newRing(urls[:3], 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("predict|large|%d|mesh-specific|fp%d", i, i)
+		before := full.owner(key)
+		after := reduced.owner(key)
+		// Keys not owned by the removed replica must not move — the
+		// consistency property that keeps surviving replicas' caches warm.
+		if before != 3 && after != before {
+			t.Fatalf("key %q moved from replica %d to %d though replica 3 was the one removed", key, before, after)
+		}
+	}
+}

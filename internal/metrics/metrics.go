@@ -1,0 +1,275 @@
+// Package metrics is the observability core shared by the serving tier
+// (`krak serve`) and the resilience tier (`krak gateway`): a small
+// Prometheus text-exposition registry built entirely on the stdlib.
+// Every number a process reports — request counters, latency
+// histograms, cache/admission/breaker gauges — lives in one Registry;
+// GET /metrics renders all of it, and liveness endpoints are thin JSON
+// views over the same families (they read registry totals, never
+// private fields), so the two renderings can never disagree.
+//
+// Families are registered once at construction with collect hooks that
+// snapshot their samples at scrape time, closing over the owner's live
+// atomics; the registry itself holds no metric state beyond the
+// per-endpoint request stats its Instrument middleware feeds.
+package metrics
+
+import (
+	"fmt"
+	"maps"
+	"math"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one rendered metric line minus the family name: an optional
+// name suffix (histograms emit _bucket/_sum/_count series), a rendered
+// label set ("" or `{k="v",...}`), and the value.
+type Sample struct {
+	Suffix string
+	Labels string
+	Value  float64
+}
+
+// family is one metric family: HELP/TYPE header plus a collect hook that
+// snapshots its samples at scrape time.
+type family struct {
+	name, help, typ string
+	collect         func() []Sample
+}
+
+// Registry holds a process's metric families in registration order, plus
+// the per-endpoint request stats the Instrument middleware feeds.
+type Registry struct {
+	families []*family
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+// latencyBuckets are the request-latency histogram bounds (seconds):
+// cached reads land in the sub-millisecond buckets, model computes in the
+// middle, cold calibrations and sweeps at the top.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointStats accumulates one endpoint's request counts (by status
+// code) and latency histogram. Buckets store per-bucket counts and are
+// cumulated at render time.
+type endpointStats struct {
+	codes   map[int]*atomic.Int64 // guarded by Registry.mu
+	buckets []atomic.Int64        // len(latencyBuckets); overflow only in count
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the latency sum
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{endpoints: make(map[string]*endpointStats)}
+}
+
+// AddFamily registers a family; render order is registration order.
+func (reg *Registry) AddFamily(name, typ, help string, collect func() []Sample) {
+	reg.families = append(reg.families, &family{name: name, help: help, typ: typ, collect: collect})
+}
+
+// AddScalar registers a single-series family (no labels) whose value is
+// read at scrape time.
+func (reg *Registry) AddScalar(name, typ, help string, fn func() float64) {
+	reg.AddFamily(name, typ, help, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// AddLabeled registers a family with a fixed set of labeled series, each
+// read at scrape time. The series render in sorted label order.
+func (reg *Registry) AddLabeled(name, typ, help string, series map[string]func() float64, label string) {
+	reg.AddFamily(name, typ, help, func() []Sample {
+		out := make([]Sample, 0, len(series))
+		for _, k := range slices.Sorted(maps.Keys(series)) {
+			out = append(out, Sample{Labels: LabelSet(label, k), Value: series[k]()})
+		}
+		return out
+	})
+}
+
+// Counter adapts an atomic counter into a scrape-time reader — the
+// canonical collect hook for AddScalar.
+func Counter(v *atomic.Int64) func() float64 {
+	return func() float64 { return float64(v.Load()) }
+}
+
+// LabelSet renders a one-label set.
+func LabelSet(k, v string) string {
+	return "{" + k + "=" + strconv.Quote(v) + "}"
+}
+
+// endpoint returns (creating on first use) the stats bucket for an
+// endpoint label. The Instrument middleware calls it once per route at
+// registration, so scrape-time families see a stable set.
+func (reg *Registry) endpoint(name string) *endpointStats {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	st, ok := reg.endpoints[name]
+	if !ok {
+		st = &endpointStats{
+			codes:   make(map[int]*atomic.Int64),
+			buckets: make([]atomic.Int64, len(latencyBuckets)),
+		}
+		reg.endpoints[name] = st
+	}
+	return st
+}
+
+// observe records one finished request on the endpoint: its status code
+// and wall latency.
+func (reg *Registry) observe(st *endpointStats, code int, seconds float64) {
+	reg.mu.Lock()
+	c, ok := st.codes[code]
+	if !ok {
+		c = &atomic.Int64{}
+		st.codes[code] = c
+	}
+	reg.mu.Unlock()
+	c.Add(1)
+	for i, b := range latencyBuckets {
+		if seconds <= b {
+			st.buckets[i].Add(1)
+			break
+		}
+	}
+	st.count.Add(1)
+	for {
+		old := st.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if st.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// CollectRequests snapshots the per-endpoint request counters: one series
+// per (endpoint, code), both dimensions sorted so scrape output is
+// stable. Register it as the collect hook of a counter family.
+func (reg *Registry) CollectRequests() []Sample {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	var out []Sample
+	for _, ep := range slices.Sorted(maps.Keys(reg.endpoints)) {
+		st := reg.endpoints[ep]
+		for _, code := range slices.Sorted(maps.Keys(st.codes)) {
+			out = append(out, Sample{
+				Labels: fmt.Sprintf(`{endpoint=%q,code="%d"}`, ep, code),
+				Value:  float64(st.codes[code].Load()),
+			})
+		}
+	}
+	return out
+}
+
+// CollectLatency snapshots the per-endpoint latency histograms: per
+// endpoint, the cumulative _bucket series (ending at le="+Inf"), then
+// _sum and _count. Register it as the collect hook of a histogram family.
+func (reg *Registry) CollectLatency() []Sample {
+	reg.mu.Lock()
+	endpoints := slices.Sorted(maps.Keys(reg.endpoints))
+	stats := make([]*endpointStats, len(endpoints))
+	for i, ep := range endpoints {
+		stats[i] = reg.endpoints[ep]
+	}
+	reg.mu.Unlock()
+	var out []Sample
+	for i, ep := range endpoints {
+		st := stats[i]
+		var cum int64
+		for j, b := range latencyBuckets {
+			cum += st.buckets[j].Load()
+			out = append(out, Sample{
+				Suffix: "_bucket",
+				Labels: fmt.Sprintf(`{endpoint=%q,le=%q}`, ep, formatFloat(b)),
+				Value:  float64(cum),
+			})
+		}
+		count := st.count.Load()
+		out = append(out,
+			Sample{Suffix: "_bucket", Labels: fmt.Sprintf(`{endpoint=%q,le="+Inf"}`, ep), Value: float64(count)},
+			Sample{Suffix: "_sum", Labels: LabelSet("endpoint", ep), Value: math.Float64frombits(st.sumBits.Load())},
+			Sample{Suffix: "_count", Labels: LabelSet("endpoint", ep), Value: float64(count)},
+		)
+	}
+	return out
+}
+
+// formatFloat renders a metric value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Render writes the whole registry in Prometheus text exposition format.
+func (reg *Registry) Render() []byte {
+	var b strings.Builder
+	for _, f := range reg.families {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, s := range f.collect() {
+			fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.Suffix, s.Labels, formatFloat(s.Value))
+		}
+	}
+	return []byte(b.String())
+}
+
+// Total returns the sum of a family's base series (suffix-less samples) —
+// the accessor liveness views read the registry through.
+func (reg *Registry) Total(name string) float64 {
+	for _, f := range reg.families {
+		if f.name != name {
+			continue
+		}
+		var sum float64
+		for _, s := range f.collect() {
+			if s.Suffix == "" {
+				sum += s.Value
+			}
+		}
+		return sum
+	}
+	return 0
+}
+
+// statusRecorder captures the status code a handler writes so the
+// Instrument middleware can label its counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Instrument wraps a route with metrics collection: every request
+// through it lands in the per-endpoint request counters and latency
+// histogram (exposed via CollectRequests/CollectLatency families). The
+// endpoint label should be the route pattern, not the raw URL, so path
+// parameters cannot explode the label space.
+func (reg *Registry) Instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	st := reg.endpoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		reg.observe(st, rec.code, time.Since(start).Seconds())
+	}
+}
+
+// Handler serves the registry in Prometheus text exposition format —
+// the GET /metrics endpoint.
+func (reg *Registry) Handler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(reg.Render())
+}

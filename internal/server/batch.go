@@ -127,6 +127,20 @@ func (b *predictBatcher) flush(gen uint64) {
 	}
 }
 
+// close flushes any batch still waiting on its window timer, running it
+// synchronously. Server.Close calls it after the HTTP listener drains:
+// by then no new jobs can arrive, but a batch whose window opened just
+// before the drain may still be queued, and its (already-disconnected)
+// waiters' compute must complete rather than leak a live timer.
+func (b *predictBatcher) close() {
+	b.mu.Lock()
+	jobs := b.take()
+	b.mu.Unlock()
+	if len(jobs) > 0 {
+		b.dispatch(jobs)
+	}
+}
+
 // dispatch runs one batch as a single engine.Map, capturing each job's
 // outcome on the job itself.
 func (b *predictBatcher) dispatch(jobs []*predictJob) {

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"maps"
@@ -221,11 +220,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.jobs.add(time.Now())
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
-	go s.runJob(j, m, op, grid)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		s.runJob(j, m, op, grid)
+	}()
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -238,10 +240,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 // runJob executes one background sweep under the heavy-class limiter.
 // The job deliberately outlives the submitting request — that is the
-// point of the API — so it runs on a background context.
+// point of the API — so it runs on the server's background context,
+// which only Close cancels (shutdown must not wait on a sweep no one is
+// left to poll).
 func (s *Server) runJob(j *job, m *krak.Machine, op krak.SweepOp, grid []*krak.Scenario) {
 	//krakcheck:ignore ctxflow deliberate detach: a submitted job outlives the submitting request by design
-	ctx := context.Background()
+	ctx := s.bgCtx
 	finish := func(body []byte, err error) {
 		s.jobs.finish(j, body, err, time.Now())
 	}

@@ -58,11 +58,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"krak/internal/artifacts"
 	"krak/internal/engine"
+	"krak/internal/faultinject"
+	"krak/internal/metrics"
 	"krak/pkg/krak"
 )
 
@@ -112,6 +115,12 @@ type Config struct {
 	// a finished job's result stays fetchable (0 means 15m).
 	MaxJobs int
 	JobTTL  time.Duration
+
+	// Faults, when non-nil, wraps every /v1 route in the deterministic
+	// fault-injection middleware — chaos drills only. The CLI refuses to
+	// build one unless -allow-faults is set, so it can never ship on by
+	// accident; a nil injector is a no-op.
+	Faults *faultinject.Injector
 }
 
 // maxMachines caps how many distinct machine configurations the server
@@ -152,7 +161,7 @@ type Server struct {
 
 	batch     *predictBatcher
 	pool      *engine.Pool
-	metrics   *registry
+	metrics   *metrics.Registry
 	admission *admission
 	jobs      *jobStore
 
@@ -160,6 +169,14 @@ type Server struct {
 	// store behind GET/POST /v1/machines/{fingerprint} and the append
 	// endpoint (see registry.go).
 	machineReg *machineRegistry
+
+	// bg tracks background job goroutines; bgCtx is the context they run
+	// under, canceled by Close so shutdown never waits on a sweep that no
+	// one is left to poll.
+	bg       sync.WaitGroup
+	bgCtx    context.Context
+	shutdown context.CancelFunc
+	closed   atomic.Bool
 
 	requests         atomic.Int64
 	cacheHits        atomic.Int64
@@ -198,20 +215,27 @@ func New(cfg Config) (*Server, error) {
 		pool:      pool,
 		artifacts: sa,
 		disk:      disk,
-		metrics:   newRegistry(),
+		metrics:   metrics.NewRegistry(),
 		admission: newAdmission(cfg),
 		jobs:      newJobStore(cfg.MaxJobs, cfg.JobTTL),
 	}
+	s.bgCtx, s.shutdown = context.WithCancel(context.Background())
 	s.machineReg = newMachineRegistry(disk)
 	s.registerMetrics()
 	mux := http.NewServeMux()
 	// Observability endpoints are neither instrumented nor admission
 	// controlled: they must answer exactly when the server is saturated,
 	// and a scrape counting itself would make the counters self-exciting.
+	// They also bypass fault injection — a chaos drill that blinded the
+	// observer would be unmeasurable.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.metrics.Handler)
 	route := func(pattern, endpoint, class string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.instrument(endpoint, s.withAdmission(class, h)))
+		h = s.withAdmission(class, h)
+		if cfg.Faults != nil {
+			h = cfg.Faults.Middleware(h)
+		}
+		mux.HandleFunc(pattern, s.metrics.Instrument(endpoint, h))
 	}
 	route("GET /v1/machines", "/v1/machines", classLight, s.handleMachines)
 	route("GET /v1/machines/{fingerprint}", "/v1/machines/{fingerprint}", classLight, s.handleMachineHistory)
@@ -236,37 +260,35 @@ func New(cfg Config) (*Server, error) {
 // /healthz renders — so the two views cannot drift.
 func (s *Server) registerMetrics() {
 	reg := s.metrics
-	counter := func(v *atomic.Int64) func() float64 {
-		return func() float64 { return float64(v.Load()) }
-	}
-	reg.addFamily("krak_http_requests_total", "counter",
-		"HTTP requests served, by route pattern and status code.", reg.collectRequests)
-	reg.addFamily("krak_http_request_seconds", "histogram",
-		"HTTP request latency in seconds, by route pattern.", reg.collectLatency)
-	reg.addScalar("krak_requests_total", "counter",
+	counter := metrics.Counter
+	reg.AddFamily("krak_http_requests_total", "counter",
+		"HTTP requests served, by route pattern and status code.", reg.CollectRequests)
+	reg.AddFamily("krak_http_request_seconds", "histogram",
+		"HTTP request latency in seconds, by route pattern.", reg.CollectLatency)
+	reg.AddScalar("krak_requests_total", "counter",
 		"All HTTP requests received, matched or not.", counter(&s.requests))
-	reg.addScalar("krak_uptime_seconds", "gauge",
+	reg.AddScalar("krak_uptime_seconds", "gauge",
 		"Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
-	reg.addScalar("krak_parallelism", "gauge",
+	reg.AddScalar("krak_parallelism", "gauge",
 		"Worker-pool width machines and batches dispatch on.",
 		func() float64 { return float64(s.pool.Workers()) })
-	reg.addScalar("krak_response_cache_hits_total", "counter",
+	reg.AddScalar("krak_response_cache_hits_total", "counter",
 		"Responses served from the rendered-response LRU.", counter(&s.cacheHits))
-	reg.addScalar("krak_response_cache_misses_total", "counter",
+	reg.AddScalar("krak_response_cache_misses_total", "counter",
 		"Responses computed because the LRU had no entry.", counter(&s.cacheMisses))
-	reg.addScalar("krak_response_cache_coalesced_total", "counter",
+	reg.AddScalar("krak_response_cache_coalesced_total", "counter",
 		"Responses served by joining another request's in-flight fill.", counter(&s.cacheCoalesced))
-	reg.addScalar("krak_response_cache_entries", "gauge",
+	reg.AddScalar("krak_response_cache_entries", "gauge",
 		"Rendered responses currently cached.", func() float64 { return float64(s.responses.Len()) })
-	reg.addScalar("krak_response_cache_capacity", "gauge",
+	reg.AddScalar("krak_response_cache_capacity", "gauge",
 		"Rendered-response LRU capacity.", func() float64 { return float64(s.responses.Cap()) })
-	reg.addScalar("krak_machines", "gauge",
+	reg.AddScalar("krak_machines", "gauge",
 		"Distinct machine configurations memoized.", func() float64 { return float64(s.machines.Len()) })
-	reg.addScalar("krak_machines_rejected_total", "counter",
+	reg.AddScalar("krak_machines_rejected_total", "counter",
 		"Requests refused because the machine cap was reached.", counter(&s.machinesRejected))
-	reg.addScalar("krak_batches_total", "counter",
+	reg.AddScalar("krak_batches_total", "counter",
 		"Predict micro-batches dispatched.", counter(&s.batch.batches))
-	reg.addScalar("krak_batched_jobs_total", "counter",
+	reg.AddScalar("krak_batched_jobs_total", "counter",
 		"Predict jobs carried by micro-batches.", counter(&s.batch.jobs))
 	limGauge := func(fn func(*engine.Limiter) int) map[string]func() float64 {
 		return map[string]func() float64{
@@ -274,13 +296,13 @@ func (s *Server) registerMetrics() {
 			classHeavy: func() float64 { return float64(fn(s.admission.heavy)) },
 		}
 	}
-	reg.addLabeled("krak_admission_inflight", "gauge",
+	reg.AddLabeled("krak_admission_inflight", "gauge",
 		"Admitted requests currently in flight, by endpoint class.",
 		limGauge((*engine.Limiter).InFlight), "class")
-	reg.addLabeled("krak_admission_waiting", "gauge",
+	reg.AddLabeled("krak_admission_waiting", "gauge",
 		"Requests waiting in the bounded admission queue, by endpoint class.",
 		limGauge((*engine.Limiter).Waiting), "class")
-	reg.addLabeled("krak_admission_rejected_total", "counter",
+	reg.AddLabeled("krak_admission_rejected_total", "counter",
 		"Requests refused by admission control, by endpoint class.",
 		map[string]func() float64{
 			classLight: counter(&s.admission.rejectedLight),
@@ -289,7 +311,7 @@ func (s *Server) registerMetrics() {
 	jobGauge := func(state string) func() float64 {
 		return func() float64 { return float64(s.jobs.countByStatus()[state]) }
 	}
-	reg.addLabeled("krak_jobs", "gauge",
+	reg.AddLabeled("krak_jobs", "gauge",
 		"Live background jobs, by lifecycle state.",
 		map[string]func() float64{
 			krak.JobPending: jobGauge(krak.JobPending),
@@ -297,15 +319,15 @@ func (s *Server) registerMetrics() {
 			krak.JobDone:    jobGauge(krak.JobDone),
 			krak.JobFailed:  jobGauge(krak.JobFailed),
 		}, "state")
-	reg.addScalar("krak_jobs_evicted_total", "counter",
+	reg.AddScalar("krak_jobs_evicted_total", "counter",
 		"Finished jobs evicted by TTL or the store cap.", counter(&s.jobs.evicted))
-	reg.addScalar("krak_registered_machines", "gauge",
+	reg.AddScalar("krak_registered_machines", "gauge",
 		"Distinct machine fingerprints in the calibration registry.",
 		func() float64 { return float64(s.machineReg.len()) })
-	reg.addScalar("krak_calib_drift_flagged_total", "counter",
+	reg.AddScalar("krak_calib_drift_flagged_total", "counter",
 		"Appended calibrations whose fresh residuals left the stored fit's stderr band.",
 		counter(&s.driftFlagged))
-	reg.addScalar("krak_partition_computes_total", "counter",
+	reg.AddScalar("krak_partition_computes_total", "counter",
 		"Partition vectors computed from scratch (neither memory nor disk had them).",
 		func() float64 { return float64(s.artifacts.Stats().PartitionComputes) })
 	diskSeries := func(art func(krak.ArtifactStats) int64, resp func(artifacts.DiskStats) int64) map[string]func() float64 {
@@ -314,32 +336,60 @@ func (s *Server) registerMetrics() {
 			"response": func() float64 { return float64(resp(s.disk.Stats())) },
 		}
 	}
-	reg.addLabeled("krak_disk_cache_hits_total", "counter",
+	reg.AddLabeled("krak_disk_cache_hits_total", "counter",
 		"Disk-cache entries that verified and were served, by tier.",
 		diskSeries(
 			func(a krak.ArtifactStats) int64 { return a.DiskHits },
 			func(d artifacts.DiskStats) int64 { return d.Hits }), "tier")
-	reg.addLabeled("krak_disk_cache_misses_total", "counter",
+	reg.AddLabeled("krak_disk_cache_misses_total", "counter",
 		"Disk-cache lookups that missed, by tier.",
 		diskSeries(
 			func(a krak.ArtifactStats) int64 { return a.DiskMisses },
 			func(d artifacts.DiskStats) int64 { return d.Misses }), "tier")
-	reg.addLabeled("krak_disk_cache_writes_total", "counter",
+	reg.AddLabeled("krak_disk_cache_writes_total", "counter",
 		"Disk-cache entries written, by tier.",
 		diskSeries(
 			func(a krak.ArtifactStats) int64 { return a.DiskWrites },
 			func(d artifacts.DiskStats) int64 { return d.Writes }), "tier")
-	reg.addLabeled("krak_disk_cache_corrupt_total", "counter",
+	reg.AddLabeled("krak_disk_cache_corrupt_total", "counter",
 		"Disk-cache entries discarded as corrupt or version-skewed, by tier.",
 		diskSeries(
 			func(a krak.ArtifactStats) int64 { return a.DiskCorrupt },
 			func(d artifacts.DiskStats) int64 { return d.Corrupt }), "tier")
+	if s.cfg.Faults != nil {
+		reg.AddLabeled("krak_fault_injected_total", "counter",
+			"Faults injected by the armed chaos plan, by kind.",
+			s.cfg.Faults.MetricSeries(), "kind")
+	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. After Close the server answers
+// only 503s: the listener should already be drained by then, so any
+// straggler is a caller racing shutdown, and an honest refusal with a
+// Retry-After beats dispatching onto torn-down machinery.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("%w: server is shutting down", krak.ErrUnavailable))
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the server's background machinery after the HTTP listener
+// has drained (call it after http.Server.Shutdown): it cancels the
+// context background jobs run under, waits for every job goroutine to
+// exit, and flushes the predict batcher's pending window so no queued
+// job is left waiting on a window timer that will never be served.
+// Idempotent; safe on a server that never served a request.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.shutdown()
+	s.bg.Wait()
+	s.batch.close()
+	return nil
 }
 
 // maxBody bounds request bodies; the wire types are a few hundred bytes.
@@ -368,6 +418,8 @@ func errorStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errRegistryFull):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, krak.ErrUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, errUnknownMachine):
 		return http.StatusNotFound
 	case errors.Is(err, krak.ErrUnknownExperiment):
@@ -386,8 +438,17 @@ func errorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-// writeError emits the JSON error envelope.
+// writeError emits the JSON error envelope. Transient refusals — 503s
+// like the machine-configuration cap, 429s like a full job store — all
+// carry a Retry-After hint, not just the admission path: the condition
+// clears on its own, and the header is what tells a well-behaved client
+// to back off instead of abandoning the request.
 func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -474,7 +535,7 @@ func (s *Server) machineFor(ms krak.MachineSpec) (*krak.Machine, error) {
 // /healthz and /metrics are two renderings of the same counters and the
 // agreement test can diff them.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	total := func(name string) int64 { return int64(s.metrics.total(name)) }
+	total := func(name string) int64 { return int64(s.metrics.Total(name)) }
 	writeJSON(w, map[string]any{
 		"status":             "ok",
 		"uptime_s":           time.Since(s.start).Seconds(),
@@ -575,7 +636,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, s.machineStatus(err), err)
 		return
 	}
-	key := fmt.Sprintf("predict|%s|%d|%s|%s", req.Deck, req.PEs, req.Model, req.Machine.Fingerprint())
+	key := req.CanonicalKey()
 	// The fill runs detached from this request's context: other requests
 	// may be coalesced onto it, and one client disconnecting must not
 	// fail the strangers sharing the computation (predictions are short
@@ -609,8 +670,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, s.machineStatus(err), err)
 		return
 	}
-	key := fmt.Sprintf("simulate|%s|%d|%d|%s|%s",
-		req.Deck, req.PEs, req.Iterations, req.Partitioner, req.Machine.Fingerprint())
+	key := req.CanonicalKey()
 	s.cachedResult(w, key, func() (*krak.Result, error) {
 		sess, err := krak.NewSession(m, sc)
 		if err != nil {

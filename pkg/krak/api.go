@@ -254,6 +254,19 @@ func (r PredictRequest) Scenario() (*Scenario, error) {
 	return NewScenario(WithDeck(r.Deck), WithPE(r.PEs), WithModel(model))
 }
 
+// CanonicalKey is the content-derived identity of the prediction this
+// request asks for: the key the serving tier's response LRU and disk
+// cache store the rendered body under, and the key the gateway hashes
+// onto its replica ring — one definition, so a scenario always routes
+// to the replica whose caches already hold it. The receiver is
+// normalized first; callers that resolve the machine spec (server-side
+// defaults, -quick) must do so before keying, as identical requests
+// resolved differently are different content.
+func (r PredictRequest) CanonicalKey() string {
+	r = r.Normalized()
+	return fmt.Sprintf("predict|%s|%d|%s|%s", r.Deck, r.PEs, r.Model, r.Machine.Fingerprint())
+}
+
 // SimulateRequest is the body of POST /v1/simulate.
 type SimulateRequest struct {
 	Deck        string      `json:"deck,omitempty"`        // default medium
@@ -290,6 +303,14 @@ func (r SimulateRequest) Scenario() (*Scenario, error) {
 		opts = append(opts, WithIterations(r.Iterations))
 	}
 	return NewScenario(opts...)
+}
+
+// CanonicalKey is the content-derived cache/routing identity of this
+// simulation; see PredictRequest.CanonicalKey for the contract.
+func (r SimulateRequest) CanonicalKey() string {
+	r = r.Normalized()
+	return fmt.Sprintf("simulate|%s|%d|%d|%s|%s",
+		r.Deck, r.PEs, r.Iterations, r.Partitioner, r.Machine.Fingerprint())
 }
 
 // SweepRequest is the body of POST /v1/sweep: the cross product of Decks

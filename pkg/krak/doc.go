@@ -91,6 +91,16 @@
 // across server restarts. See docs/ARCHITECTURE.md's Serving and
 // Calibration sections for the endpoint table and data flows.
 //
+// The canonical request keys the serving tier caches by are exposed as
+// PredictRequest.CanonicalKey and SimulateRequest.CanonicalKey, and
+// `krak gateway` consistent-hashes the same keys to route a
+// multi-replica fleet with warm caches; ErrUnavailable is the typed
+// refusal (HTTP 503 + Retry-After on the wire) both the server and the
+// gateway return when a request cannot be placed right now — shed it
+// or retry later. docs/ARCHITECTURE.md's Resilience section covers the
+// gateway's retry/breaker/degradation design and the deterministic
+// fault-injection layer behind its chaos suite.
+//
 // Everything under internal/ is unstable implementation detail; new code
 // should depend only on this package. docs/ARCHITECTURE.md maps the
 // internal packages; docs/MODEL.md maps the paper's model terms to them.
